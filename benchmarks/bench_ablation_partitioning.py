@@ -1,0 +1,16 @@
+"""Benchmark ABL — ablation: partitioning strategy (BFS / DFS / METIS-like)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import experiment_ablation_partitioning
+
+
+def test_bench_ablation_partitioning(benchmark, experiment_config, record_report):
+    """Edge-pulling partitioning recalls planted patterns at least as well as a METIS-like split."""
+    report = run_once(benchmark, experiment_ablation_partitioning, experiment_config, copies=12, partitions=14)
+    record_report(report)
+    measured = report.measured
+    assert measured["edge_pulling_at_least_as_good_as_metis"] is True
+    assert 0.0 <= measured["recall_multilevel"] <= 1.0

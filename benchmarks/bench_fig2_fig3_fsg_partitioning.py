@@ -1,0 +1,26 @@
+"""Benchmark F2/F3 — Figures 2 & 3, Section 5.2.2: FSG over BFS/DFS partitions."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import experiment_fig2_fig3_fsg_partitioning
+
+
+def test_bench_fig2_fig3_fsg_partitioning(benchmark, experiment_config, record_report):
+    """Structural partitioning + FSG: pattern counts and shapes per strategy."""
+    report = run_once(
+        benchmark,
+        experiment_fig2_fig3_fsg_partitioning,
+        experiment_config,
+        paper_partition_counts=(400, 1600),
+        max_pattern_edges=4,
+    )
+    record_report(report)
+    measured = report.measured
+    # The paper's headline qualitative findings.
+    assert measured["breadth_first_finds_hub_and_spoke"] is True
+    assert measured["depth_first_finds_chain"] is True
+    assert measured["fewer_partitions_more_patterns"] is True
+    assert measured["avg_patterns_breadth_first"] > 0
+    assert measured["avg_patterns_depth_first"] > 0

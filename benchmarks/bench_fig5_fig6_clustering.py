@@ -1,0 +1,21 @@
+"""Benchmark F5/F6 — Figures 5 & 6: EM clustering of the numeric attributes."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import experiment_fig5_fig6_clustering
+from repro.reporting.figures import render_cluster_summaries
+
+
+def test_bench_fig5_fig6_clustering(benchmark, experiment_config, record_report):
+    """Nine EM clusters with a tiny air-freight outlier cluster and a short/long-haul split."""
+    report = run_once(benchmark, experiment_fig5_fig6_clustering, experiment_config, n_clusters=9)
+    record_report(report)
+    measured = report.measured
+    assert measured["n_clusters"] >= 7
+    assert measured["outlier_cluster_is_air_freight"] is True
+    assert measured["short_haul_and_long_haul_split"] is True
+    assert measured["smallest_cluster_size"] <= 10
+    print()
+    print(render_cluster_summaries(report.details["summaries"], title="Figure 5/6 equivalent"))

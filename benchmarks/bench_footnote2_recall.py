@@ -1,0 +1,16 @@
+"""Benchmark FN2 — footnote 2: recall of planted patterns after partitioning."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import experiment_footnote2_recall
+
+
+def test_bench_footnote2_recall(benchmark, experiment_config, record_report):
+    """Recall of known planted patterns is at least ~50% for both strategies."""
+    report = run_once(benchmark, experiment_footnote2_recall, experiment_config, copies=12, partitions=14)
+    record_report(report)
+    measured = report.measured
+    assert measured["recall_breadth_first"] >= 0.5
+    assert measured["recall_depth_first"] >= 0.5

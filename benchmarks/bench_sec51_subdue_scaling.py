@@ -1,0 +1,19 @@
+"""Benchmark S5.1 — Section 5.1: SUBDUE runtime scaling and MDL vs Size."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import experiment_sec51_subdue_scaling
+
+
+def test_bench_sec51_subdue_scaling(benchmark, experiment_config, record_report):
+    """Runtime grows steeply with graph size; Size finds larger patterns than MDL."""
+    report = run_once(
+        benchmark, experiment_sec51_subdue_scaling, experiment_config, sizes=(15, 30, 45)
+    )
+    record_report(report)
+    measured = report.measured
+    assert measured["runtime_grows_with_size"] is True
+    assert measured["size_finds_larger_patterns_than_mdl"] is True
+    assert measured["mdl_prefers_small_patterns"] is True

@@ -1,0 +1,17 @@
+"""Benchmark S6.1 — Section 6.1: FSG memory failure on unfiltered temporal data."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import experiment_sec61_fsg_memory
+
+
+def test_bench_sec61_fsg_memory(benchmark, experiment_config, record_report):
+    """The unfiltered per-day transactions blow the candidate budget; the filtered set completes."""
+    report = run_once(benchmark, experiment_sec61_fsg_memory, experiment_config)
+    record_report(report)
+    measured = report.measured
+    assert measured["unfiltered_run_fails"] is True
+    assert measured["filtered_run_completes"] is True
+    assert measured["filtered_patterns"] > 0

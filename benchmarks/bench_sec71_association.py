@@ -1,0 +1,19 @@
+"""Benchmark S7.1 — Section 7.1: association rules on the discretised table."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import experiment_sec71_association
+
+
+def test_bench_sec71_association(benchmark, experiment_config, record_report):
+    """Weight->LTL and origin-longitude->origin-latitude rules emerge with high confidence."""
+    report = run_once(benchmark, experiment_sec71_association, experiment_config)
+    record_report(report)
+    measured = report.measured
+    assert measured["weight_to_ltl_rule_found"] is True
+    assert measured["longitude_to_latitude_rule_found"] is True
+    # The paper reports confidence 0.87; the synthetic corridor gives a
+    # similarly high value.
+    assert measured["longitude_to_latitude_confidence"] >= 0.8

@@ -1,0 +1,17 @@
+"""Benchmark S7.2 — Section 7.2: decision-tree classification experiments."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import experiment_sec72_classification
+
+
+def test_bench_sec72_classification(benchmark, experiment_config, record_report):
+    """TRANS_MODE is ~96% predictable with GROSS_WEIGHT as the root split."""
+    report = run_once(benchmark, experiment_sec72_classification, experiment_config)
+    record_report(report)
+    measured = report.measured
+    assert measured["trans_mode_accuracy"] >= 0.90
+    assert measured["root_split_attribute"] == "GROSS_WEIGHT"
+    assert measured["latitudes_more_informative_than_hours_for_distance"] is True

@@ -1,0 +1,20 @@
+"""Benchmark T1 — Table 1 / Section 3: dataset description statistics."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import experiment_table1
+
+
+def test_bench_table1_dataset(benchmark, experiment_config, record_report):
+    """Regenerate the Section 3 dataset statistics (Table 1 context)."""
+    report = run_once(benchmark, experiment_table1, experiment_config)
+    record_report(report)
+    measured = report.measured
+    assert measured["n_transactions"] > 0
+    # The synthetic dataset preserves the paper's shape: skewed out-degree,
+    # several deliveries per OD pair, more destinations than origins.
+    assert measured["out_degree_max"] > 5 * measured["out_degree_avg"]
+    assert measured["transactions_per_od_pair"] > 2
+    assert measured["n_destinations"] > measured["n_origins"]

@@ -1,0 +1,21 @@
+"""Benchmark T2 — Table 2: summary of temporally partitioned graph data."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import experiment_table2_temporal
+
+
+def test_bench_table2_temporal(benchmark, experiment_config, record_report):
+    """Per-day graph transactions: counts, label cardinalities, size distribution."""
+    report = run_once(benchmark, experiment_table2_temporal, experiment_config)
+    record_report(report)
+    measured = report.measured
+    # Roughly one transaction per day of the six-month window.
+    assert 120 <= measured["n_transactions"] <= 220
+    # Seven weight bins label the edges, as in the paper.
+    assert measured["distinct_edge_labels"] == 7
+    # Vertex labels are unique per location, so the count tracks the location count.
+    assert measured["distinct_vertex_labels"] > 50
+    assert measured["max_edges"] >= measured["average_edges"]

@@ -1,0 +1,23 @@
+"""Benchmark T3/F4 — Table 3 + Figure 4: FSG on filtered temporal transactions."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import experiment_table3_fig4_temporal_fsg
+from repro.reporting.figures import render_pattern
+
+
+def test_bench_table3_fig4_temporal_fsg(benchmark, experiment_config, record_report):
+    """FSG at 5% support on the filtered per-day transactions finds a repeated hub-and-spoke."""
+    report = run_once(benchmark, experiment_table3_fig4_temporal_fsg, experiment_config)
+    record_report(report)
+    measured = report.measured
+    assert measured["n_frequent_patterns"] > 0
+    assert measured["most_patterns_small"] is True
+    # The largest pattern is a multi-edge hub-and-spoke, as in Figure 4.
+    assert measured["largest_pattern_edges"] >= 2
+    assert measured["largest_pattern_shape"] == "hub_and_spoke"
+    largest = report.details["outcome"].mining.largest()
+    print()
+    print(render_pattern(largest.pattern, title="Figure 4 equivalent (largest temporal pattern)"))

@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper by calling
+the corresponding experiment driver in :mod:`repro.core.experiments`, then
+prints (and saves under ``benchmarks/results/``) the paper-versus-measured
+comparison.  Timings are collected with pytest-benchmark using a single
+round per experiment — the experiments themselves are the workload, and
+several of them take tens of seconds.
+
+Set the ``REPRO_BENCH_SCALE`` environment variable to change the synthetic
+dataset scale (default 0.03; the paper's full-size dataset is 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.results import ExperimentReport
+from repro.reporting.comparison import agreement_summary, render_comparison
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.03"))
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """One shared configuration (and cached dataset) for all benchmarks."""
+    return ExperimentConfig(scale=_bench_scale(), seed=20050405)
+
+
+@pytest.fixture(scope="session")
+def record_report():
+    """A helper that prints a report and writes it to benchmarks/results/."""
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _record(report: ExperimentReport) -> ExperimentReport:
+        text = render_comparison(report)
+        agreements = agreement_summary(report)
+        lines = [text]
+        if agreements:
+            matched = sum(1 for ok in agreements.values() if ok)
+            lines.append(f"qualitative claims matched: {matched}/{len(agreements)}")
+        rendered = "\n".join(lines)
+        print("\n" + rendered)
+        safe_id = report.experiment_id.replace("/", "_").replace(".", "_")
+        (RESULTS_DIR / f"{safe_id}.txt").write_text(rendered + "\n", encoding="utf-8")
+        return report
+
+    return _record
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run *function* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Validating the partitioning approach on simulated data (footnote 2).
+
+The paper validates Algorithm 1/2 by building simulated single graphs from
+subgraphs with known frequent patterns, partitioning them, and measuring
+how many of the planted patterns are still found — recall was "in the 50%
+and above range" for both strategies, better on smaller graphs.
+
+This example builds such a planted graph, sweeps the number of
+repetitions ``m`` of Algorithm 1, and prints the recall for breadth-first
+and depth-first partitioning, showing how repeating the partitioning
+reduces false drops.
+
+Run with::
+
+    python examples/planted_pattern_recall.py
+"""
+
+from __future__ import annotations
+
+from repro import PartitionStrategy, StructuralMiningConfig, mine_single_graph
+from repro.graphs.motifs import chain, cycle, hub_and_spoke
+from repro.patterns.planted import PlantedGraphSpec, build_planted_graph
+from repro.patterns.recall import measure_recall
+
+
+def main() -> None:
+    spec = PlantedGraphSpec(background_edges=40, seed=3)
+    spec.add("hub4", hub_and_spoke(4, edge_labels=[1, 1, 1, 1]), copies=10)
+    spec.add("chain3", chain(3, edge_labels=[2, 2, 2]), copies=10)
+    spec.add("cycle3", cycle(3, edge_labels=[3, 3, 3]), copies=10)
+    planted = build_planted_graph(spec)
+    print(f"planted graph: {planted.graph.n_vertices} vertices, {planted.graph.n_edges} edges, "
+          f"{planted.total_planted_copies} planted pattern copies\n")
+
+    print(f"{'strategy':15s} {'repetitions':>12s} {'recall':>8s} {'partial':>8s} {'patterns':>9s}")
+    for strategy in (PartitionStrategy.BREADTH_FIRST, PartitionStrategy.DEPTH_FIRST):
+        for repetitions in (1, 2, 4):
+            config = StructuralMiningConfig(
+                k=12,
+                repetitions=repetitions,
+                min_support=4,
+                strategy=strategy,
+                max_pattern_edges=4,
+                seed=23,
+            )
+            result = mine_single_graph(planted.graph, config)
+            report = measure_recall(planted.ground_truth, result.patterns)
+            print(f"{strategy.value:15s} {repetitions:12d} {report.recall:8.2f} "
+                  f"{report.partial_recall:8.2f} {len(result):9d}")
+    print("\nThe paper reports recall of 50% and above for both strategies (footnote 2);")
+    print("repeating the partitioning (larger m in Algorithm 1) recovers patterns that a")
+    print("single unlucky partitioning would split across transactions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Reproduction of "Knowledge Discovery from Transportation Network Data" (ICDE 2005).
+
+The library reimplements, from scratch, everything the paper evaluates on
+its proprietary origin-destination freight dataset:
+
+* a calibrated synthetic dataset generator and the Table 1 schema
+  (:mod:`repro.datasets`);
+* the labeled directed graph substrate, label-preserving isomorphism, and
+  the OD graph builders (:mod:`repro.graphs`);
+* the miners the paper uses as black boxes — an FSG-style frequent
+  subgraph miner, a SUBDUE-style single-graph substructure discoverer,
+  and the Weka-style conventional miners (Apriori, C4.5-like trees, EM
+  clustering) (:mod:`repro.mining`);
+* the paper's own contributions — single-graph pattern identity and the
+  structural / temporal partitioning strategies (:mod:`repro.partitioning`,
+  :mod:`repro.patterns`);
+* end-to-end pipelines and per-table/figure experiment drivers
+  (:mod:`repro.core`) with text reporting (:mod:`repro.reporting`).
+
+Quickstart::
+
+    from repro import ExperimentConfig, generate_dataset
+    from repro.core.experiments import experiment_table1
+
+    report = experiment_table1(ExperimentConfig(scale=0.05))
+    print(report.to_text())
+"""
+
+from repro.core.config import ExperimentConfig
+from repro.core.pipeline import (
+    StructuralMiningPipeline,
+    TemporalMiningPipeline,
+    TransactionalMiningPipeline,
+)
+from repro.core.results import ExperimentReport
+from repro.datasets.generator import GeneratorConfig, TransportationDataGenerator, generate_dataset
+from repro.datasets.schema import Location, TransMode, Transaction, TransactionDataset
+from repro.graphs.builders import build_od_graph
+from repro.graphs.labeled_graph import Edge, LabeledGraph, LabeledMultiGraph
+from repro.mining.fsg.miner import FSGMiner, mine_frequent_subgraphs
+from repro.mining.subdue.miner import SubdueMiner
+from repro.partitioning.split_graph import PartitionStrategy, split_graph
+from repro.partitioning.structural import StructuralMiningConfig, mine_single_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentReport",
+    "StructuralMiningPipeline",
+    "TemporalMiningPipeline",
+    "TransactionalMiningPipeline",
+    "GeneratorConfig",
+    "TransportationDataGenerator",
+    "generate_dataset",
+    "Location",
+    "TransMode",
+    "Transaction",
+    "TransactionDataset",
+    "build_od_graph",
+    "Edge",
+    "LabeledGraph",
+    "LabeledMultiGraph",
+    "FSGMiner",
+    "mine_frequent_subgraphs",
+    "SubdueMiner",
+    "PartitionStrategy",
+    "split_graph",
+    "StructuralMiningConfig",
+    "mine_single_graph",
+    "__version__",
+]

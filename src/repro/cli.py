@@ -1,0 +1,130 @@
+"""Command-line interface for running the reproduction experiments.
+
+The library's experiment drivers (one per paper table / figure) can be run
+from the command line without writing any code::
+
+    python -m repro.cli list
+    python -m repro.cli run T1 --scale 0.03
+    python -m repro.cli run S7.2 F5/F6 --scale 0.05
+    python -m repro.cli all --scale 0.01 --output results.txt
+
+``list`` shows the available experiment ids with their descriptions;
+``run`` executes one or more experiments and prints the paper-versus-
+measured comparison; ``all`` runs every experiment.  ``--output`` appends
+the rendered comparisons to a file in addition to printing them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiments import ALL_EXPERIMENTS
+from repro.core.results import ExperimentReport
+from repro.reporting.comparison import agreement_summary, render_comparison
+
+#: One-line descriptions shown by ``list`` (kept in sync with DESIGN.md).
+_EXPERIMENT_SUMMARIES: dict[str, str] = {
+    "T1": "Table 1 / Section 3 — dataset description statistics",
+    "F1": "Figure 1 — SUBDUE with the MDL principle on OD_GW",
+    "S5.1": "Section 5.1 — SUBDUE runtime scaling, MDL vs Size",
+    "F2/F3": "Figures 2 & 3 — FSG over breadth-first / depth-first partitions",
+    "FN2": "Footnote 2 — recall of planted patterns after partitioning",
+    "T2": "Table 2 — temporally partitioned graph data",
+    "T3/F4": "Table 3 + Figure 4 — FSG on filtered temporal transactions",
+    "S6.1": "Section 6.1 — FSG memory failure on large temporal transactions",
+    "S7.1": "Section 7.1 — association rules",
+    "S7.2": "Section 7.2 — decision-tree classification",
+    "F5/F6": "Figures 5 & 6 — EM clustering",
+    "ABL": "Ablation — partitioning strategy (BFS / DFS / METIS-like)",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro.cli``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'Knowledge Discovery from Transportation Network Data' (ICDE 2005).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments by id")
+    run_parser.add_argument("experiments", nargs="+", help="experiment ids (see 'list')")
+    _add_common_options(run_parser)
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    _add_common_options(all_parser)
+
+    return parser
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.03,
+                        help="synthetic dataset scale (1.0 = the paper's full size; default 0.03)")
+    parser.add_argument("--seed", type=int, default=20050405, help="generator seed")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also append the rendered comparisons to this file")
+
+
+def _render(report: ExperimentReport) -> str:
+    lines = [render_comparison(report)]
+    agreements = agreement_summary(report)
+    if agreements:
+        matched = sum(1 for ok in agreements.values() if ok)
+        lines.append(f"qualitative claims matched: {matched}/{len(agreements)}")
+    return "\n".join(lines)
+
+
+def _run_experiments(experiment_ids: Sequence[str], args, stream) -> int:
+    unknown = [eid for eid in experiment_ids if eid not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    chunks: list[str] = []
+    for experiment_id in experiment_ids:
+        driver = ALL_EXPERIMENTS[experiment_id]
+        report = driver(config)
+        rendered = _render(report)
+        print(rendered, file=stream)
+        print("", file=stream)
+        chunks.append(rendered)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        with args.output.open("a", encoding="utf-8") as handle:
+            handle.write("\n\n".join(chunks) + "\n")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, stream=None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    ``stream`` defaults to the *current* ``sys.stdout`` so output capture
+    (pytest's capsys, redirected stdout) works as expected.
+    """
+    if stream is None:
+        stream = sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in ALL_EXPERIMENTS:
+            summary = _EXPERIMENT_SUMMARIES.get(experiment_id, "")
+            print(f"{experiment_id:8s} {summary}", file=stream)
+        return 0
+    if args.command == "run":
+        return _run_experiments(args.experiments, args, stream)
+    if args.command == "all":
+        return _run_experiments(list(ALL_EXPERIMENTS), args, stream)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse handles this
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    raise SystemExit(main())

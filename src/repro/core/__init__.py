@@ -1,0 +1,25 @@
+"""High-level pipelines and experiment drivers.
+
+This package ties the substrates together into the three studies the
+paper runs — structural (Section 5), temporal (Section 6), and
+conventional/transactional (Section 7) — and provides one driver function
+per paper table and figure (:mod:`repro.core.experiments`) that the
+benchmark harness and EXPERIMENTS.md use to regenerate the reported
+results.
+"""
+
+from repro.core.config import ExperimentConfig
+from repro.core.results import ExperimentReport
+from repro.core.pipeline import (
+    StructuralMiningPipeline,
+    TemporalMiningPipeline,
+    TransactionalMiningPipeline,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentReport",
+    "StructuralMiningPipeline",
+    "TemporalMiningPipeline",
+    "TransactionalMiningPipeline",
+]

@@ -1,0 +1,55 @@
+"""Shared experiment configuration.
+
+Every experiment driver accepts an :class:`ExperimentConfig`, which mostly
+exists to pick the dataset *scale*: the paper's experiments run on the
+full ~98k-transaction dataset, but most of its graph-mining runs took
+hours to days on 2005 hardware even for tiny subgraphs, so the
+reproduction defaults to a reduced scale that preserves the data's shape
+while keeping each experiment in the seconds-to-minutes range.  Passing
+``scale=1.0`` reproduces the full-size dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.binning import BinningScheme, default_binning_scheme
+from repro.datasets.generator import GeneratorConfig, TransportationDataGenerator
+from repro.datasets.schema import TransactionDataset
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration shared by the experiment drivers.
+
+    Parameters
+    ----------
+    scale:
+        Fraction of the paper's dataset size to generate (1.0 = full size).
+    seed:
+        Seed for the synthetic data generator.
+    weight_bins, hour_bins, distance_bins:
+        Edge-label binning granularity (paper: 7 weight bins, 10 hour bins).
+    """
+
+    scale: float = 0.05
+    seed: int = 20050405
+    weight_bins: int = 7
+    hour_bins: int = 10
+    distance_bins: int = 10
+    _dataset_cache: TransactionDataset | None = field(default=None, init=False, repr=False)
+
+    def binning(self) -> BinningScheme:
+        """The binning scheme implied by the configuration."""
+        return default_binning_scheme(
+            weight_bins=self.weight_bins,
+            hour_bins=self.hour_bins,
+            distance_bins=self.distance_bins,
+        )
+
+    def dataset(self) -> TransactionDataset:
+        """Generate (and cache) the synthetic dataset at the configured scale."""
+        if self._dataset_cache is None:
+            generator = TransportationDataGenerator(GeneratorConfig(scale=self.scale, seed=self.seed))
+            self._dataset_cache = generator.generate()
+        return self._dataset_cache

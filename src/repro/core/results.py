@@ -1,0 +1,36 @@
+"""Typed result container for paper-versus-measured experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentReport:
+    """What one experiment driver produces.
+
+    ``paper`` holds the values the paper reports (or its qualitative
+    claims), ``measured`` holds what the reproduction measured on the same
+    axes, and ``details`` holds any richer objects a benchmark or example
+    may want to inspect (mined patterns, cluster summaries, ...).
+    """
+
+    experiment_id: str
+    description: str
+    paper: dict[str, Any] = field(default_factory=dict)
+    measured: dict[str, Any] = field(default_factory=dict)
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def comparison_rows(self) -> list[tuple[str, Any, Any]]:
+        """(metric, paper value, measured value) rows for every shared or one-sided key."""
+        keys = list(dict.fromkeys(list(self.paper) + list(self.measured)))
+        return [(key, self.paper.get(key, ""), self.measured.get(key, "")) for key in keys]
+
+    def to_text(self) -> str:
+        """A plain-text rendering used by benchmarks and EXPERIMENTS.md."""
+        lines = [f"[{self.experiment_id}] {self.description}", "-" * 72]
+        lines.append(f"{'metric':40s} {'paper':>15s} {'measured':>15s}")
+        for key, paper_value, measured_value in self.comparison_rows():
+            lines.append(f"{key:40.40s} {str(paper_value):>15.15s} {str(measured_value):>15.15s}")
+        return "\n".join(lines)

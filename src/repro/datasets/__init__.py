@@ -1,0 +1,51 @@
+"""Transportation network dataset substrate.
+
+This package provides the data layer of the reproduction: the transaction
+schema from Table 1 of the paper, a synthetic origin-destination (OD)
+dataset generator calibrated to the statistics reported in Section 3, the
+edge-label binning strategy, CSV persistence, and dataset summary
+statistics.
+
+The real dataset (six months of OD data from a third-party logistics
+company) is proprietary; :class:`~repro.datasets.generator.TransportationDataGenerator`
+produces a synthetic equivalent whose headline statistics, motif content,
+and attribute correlations match what the paper reports, so every
+downstream experiment exercises the same code paths on data with the same
+shape.
+"""
+
+from repro.datasets.schema import (
+    ATTRIBUTE_DESCRIPTIONS,
+    ATTRIBUTE_NAMES,
+    Location,
+    TransMode,
+    Transaction,
+    TransactionDataset,
+)
+from repro.datasets.binning import Bin, BinningScheme, default_binning_scheme
+from repro.datasets.generator import (
+    GeneratorConfig,
+    TransportationDataGenerator,
+    generate_dataset,
+)
+from repro.datasets.loader import load_csv, save_csv
+from repro.datasets.statistics import DatasetStatistics, compute_statistics
+
+__all__ = [
+    "ATTRIBUTE_DESCRIPTIONS",
+    "ATTRIBUTE_NAMES",
+    "Location",
+    "TransMode",
+    "Transaction",
+    "TransactionDataset",
+    "Bin",
+    "BinningScheme",
+    "default_binning_scheme",
+    "GeneratorConfig",
+    "TransportationDataGenerator",
+    "generate_dataset",
+    "load_csv",
+    "save_csv",
+    "DatasetStatistics",
+    "compute_statistics",
+]

@@ -1,0 +1,69 @@
+"""Geographic helpers used by the synthetic data generator.
+
+The paper's dataset stores origins and destinations as latitude/longitude
+pairs to the nearest 0.1 degree and records road miles between them.  The
+generator needs a plausible distance model, so this module provides a
+haversine great-circle distance and a road-distance estimate (great-circle
+distance inflated by a circuity factor, the standard approximation in
+transportation modelling).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.datasets.schema import Location
+
+#: Mean Earth radius in statute miles.
+EARTH_RADIUS_MILES = 3958.8
+
+#: Typical ratio of road distance to great-circle distance in the US.
+DEFAULT_CIRCUITY_FACTOR = 1.2
+
+
+def haversine_miles(origin: Location, destination: Location) -> float:
+    """Great-circle distance in miles between two locations."""
+    lat1 = math.radians(origin.latitude)
+    lon1 = math.radians(origin.longitude)
+    lat2 = math.radians(destination.latitude)
+    lon2 = math.radians(destination.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    a = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    c = 2.0 * math.asin(min(1.0, math.sqrt(a)))
+    return EARTH_RADIUS_MILES * c
+
+
+def road_miles(
+    origin: Location,
+    destination: Location,
+    circuity_factor: float = DEFAULT_CIRCUITY_FACTOR,
+) -> float:
+    """Estimated road miles between two locations.
+
+    Road networks are not straight lines; the conventional approximation
+    multiplies the great-circle distance by a circuity factor (about 1.2
+    for the continental US).
+    """
+    if circuity_factor < 1.0:
+        raise ValueError("circuity factor must be at least 1.0")
+    return haversine_miles(origin, destination) * circuity_factor
+
+
+def transit_hours_for_distance(
+    distance_miles: float,
+    average_speed_mph: float = 45.0,
+    handling_hours: float = 2.0,
+) -> float:
+    """Expected door-to-door transit hours for a road distance.
+
+    A simple linear model: driving time at an average speed plus fixed
+    handling time at each end.  The generator adds noise on top of this so
+    distance and transit hours are strongly but not perfectly correlated,
+    matching the classification findings in Section 7.2.
+    """
+    if distance_miles < 0:
+        raise ValueError("distance must be non-negative")
+    if average_speed_mph <= 0:
+        raise ValueError("average speed must be positive")
+    return distance_miles / average_speed_mph + handling_hours

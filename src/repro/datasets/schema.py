@@ -1,0 +1,282 @@
+"""Transaction schema for the transportation network dataset.
+
+Table 1 of the paper describes each OD (origin-destination) transaction
+with eleven attributes: a unique identifier, requested pickup and delivery
+dates, origin and destination coordinates (to the nearest 0.1 degree),
+total road distance, gross weight, transit hours, and transport mode
+(Truckload or Less-than-Truckload).
+
+This module defines :class:`Transaction` (one row of the dataset),
+:class:`Location` (a latitude/longitude pair used as a graph vertex), and
+:class:`TransactionDataset` (an ordered collection with convenience
+accessors used throughout the library).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from datetime import date, timedelta
+from typing import Iterable, Iterator, Sequence
+
+
+class TransMode(str, enum.Enum):
+    """Transport mode of a load.
+
+    ``TL`` (Truckload) means the load fills a truck; ``LTL`` (Less than
+    Truckload) means it shares a truck with other loads.  The paper's
+    conventional-mining experiments (Section 7) find the mode is almost
+    fully determined by gross weight.
+    """
+
+    TRUCKLOAD = "TL"
+    LESS_THAN_TRUCKLOAD = "LTL"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Attribute names in the order used by Table 1 of the paper.
+ATTRIBUTE_NAMES: tuple[str, ...] = (
+    "ID",
+    "REQ_PICKUP_DT",
+    "REQ_DELIVERY_DT",
+    "ORIGIN_LATITUDE",
+    "ORIGIN_LONGITUDE",
+    "DEST_LATITUDE",
+    "DEST_LONGITUDE",
+    "TOTAL_DISTANCE",
+    "GROSS_WEIGHT",
+    "MOVE_TRANSIT_HOURS",
+    "TRANS_MODE",
+)
+
+#: Human-readable descriptions, mirroring Table 1.
+ATTRIBUTE_DESCRIPTIONS: dict[str, str] = {
+    "ID": "Unique transaction identifier.",
+    "REQ_PICKUP_DT": "Requested date to pick up the load.",
+    "REQ_DELIVERY_DT": "Requested delivery date.",
+    "ORIGIN_LATITUDE": "Latitude of source (to nearest 0.1 degree).",
+    "ORIGIN_LONGITUDE": "Longitude of source (to nearest 0.1 degree).",
+    "DEST_LATITUDE": "Latitude of destination (to nearest 0.1 degree).",
+    "DEST_LONGITUDE": "Longitude of destination (to nearest 0.1 degree).",
+    "TOTAL_DISTANCE": "Road miles between origin and destination.",
+    "GROSS_WEIGHT": "Weight of load.",
+    "MOVE_TRANSIT_HOURS": "Hours needed to get from origin to destination.",
+    "TRANS_MODE": "Truckload or Less than Truckload.",
+}
+
+
+def _round_coordinate(value: float) -> float:
+    """Round a coordinate to the nearest 0.1 degree, as in the dataset."""
+    return round(value, 1)
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """A latitude/longitude pair identifying a place in the network.
+
+    Coordinates are stored to the nearest 0.1 degree, matching the
+    resolution of the paper's dataset; two loads whose endpoints round to
+    the same pair are treated as sharing a vertex.
+    """
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "latitude", _round_coordinate(self.latitude))
+        object.__setattr__(self, "longitude", _round_coordinate(self.longitude))
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(latitude, longitude)``."""
+        return (self.latitude, self.longitude)
+
+    def label(self) -> str:
+        """A compact string label, used for vertex labeling in Section 6."""
+        return f"{self.latitude:.1f},{self.longitude:.1f}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label()
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One origin-destination freight transaction (one row of Table 1)."""
+
+    id: int
+    req_pickup_dt: date
+    req_delivery_dt: date
+    origin: Location
+    destination: Location
+    total_distance: float
+    gross_weight: float
+    move_transit_hours: float
+    trans_mode: TransMode
+
+    def __post_init__(self) -> None:
+        if self.req_delivery_dt < self.req_pickup_dt:
+            raise ValueError(
+                "delivery date precedes pickup date for transaction "
+                f"{self.id}: {self.req_delivery_dt} < {self.req_pickup_dt}"
+            )
+        if self.total_distance < 0:
+            raise ValueError(f"negative distance for transaction {self.id}")
+        if self.gross_weight < 0:
+            raise ValueError(f"negative gross weight for transaction {self.id}")
+        if self.move_transit_hours < 0:
+            raise ValueError(f"negative transit hours for transaction {self.id}")
+
+    @property
+    def od_pair(self) -> tuple[Location, Location]:
+        """The (origin, destination) pair identifying the network edge."""
+        return (self.origin, self.destination)
+
+    @property
+    def transit_days(self) -> int:
+        """Number of calendar days between pickup and delivery, inclusive."""
+        return (self.req_delivery_dt - self.req_pickup_dt).days + 1
+
+    def active_dates(self) -> Iterator[date]:
+        """Yield every date on which the load may be in transit.
+
+        Section 6 of the paper treats an OD pair as an *active edge* on
+        every date between the requested pickup and delivery dates; this
+        iterator drives the temporal partitioning.
+        """
+        current = self.req_pickup_dt
+        while current <= self.req_delivery_dt:
+            yield current
+            current += timedelta(days=1)
+
+    def with_id(self, new_id: int) -> "Transaction":
+        """Return a copy with a different identifier."""
+        return replace(self, id=new_id)
+
+    def as_record(self) -> dict[str, object]:
+        """Return a flat dict keyed by the Table 1 attribute names."""
+        return {
+            "ID": self.id,
+            "REQ_PICKUP_DT": self.req_pickup_dt.isoformat(),
+            "REQ_DELIVERY_DT": self.req_delivery_dt.isoformat(),
+            "ORIGIN_LATITUDE": self.origin.latitude,
+            "ORIGIN_LONGITUDE": self.origin.longitude,
+            "DEST_LATITUDE": self.destination.latitude,
+            "DEST_LONGITUDE": self.destination.longitude,
+            "TOTAL_DISTANCE": self.total_distance,
+            "GROSS_WEIGHT": self.gross_weight,
+            "MOVE_TRANSIT_HOURS": self.move_transit_hours,
+            "TRANS_MODE": self.trans_mode.value,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, object]) -> "Transaction":
+        """Build a transaction from a flat record produced by :meth:`as_record`."""
+        return cls(
+            id=int(record["ID"]),
+            req_pickup_dt=date.fromisoformat(str(record["REQ_PICKUP_DT"])),
+            req_delivery_dt=date.fromisoformat(str(record["REQ_DELIVERY_DT"])),
+            origin=Location(
+                float(record["ORIGIN_LATITUDE"]), float(record["ORIGIN_LONGITUDE"])
+            ),
+            destination=Location(
+                float(record["DEST_LATITUDE"]), float(record["DEST_LONGITUDE"])
+            ),
+            total_distance=float(record["TOTAL_DISTANCE"]),
+            gross_weight=float(record["GROSS_WEIGHT"]),
+            move_transit_hours=float(record["MOVE_TRANSIT_HOURS"]),
+            trans_mode=TransMode(str(record["TRANS_MODE"])),
+        )
+
+
+@dataclass
+class TransactionDataset:
+    """An ordered collection of :class:`Transaction` records.
+
+    The dataset is the single entry point for every experiment: graph
+    builders, temporal partitioning, and the conventional-mining feature
+    extraction all consume it.
+    """
+
+    transactions: list[Transaction] = field(default_factory=list)
+    name: str = "transportation-od"
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self.transactions)
+
+    def __getitem__(self, index: int) -> Transaction:
+        return self.transactions[index]
+
+    def add(self, transaction: Transaction) -> None:
+        """Append a transaction to the dataset."""
+        self.transactions.append(transaction)
+
+    def extend(self, transactions: Iterable[Transaction]) -> None:
+        """Append many transactions to the dataset."""
+        self.transactions.extend(transactions)
+
+    @property
+    def locations(self) -> set[Location]:
+        """All distinct locations appearing as an origin or destination."""
+        found: set[Location] = set()
+        for txn in self.transactions:
+            found.add(txn.origin)
+            found.add(txn.destination)
+        return found
+
+    @property
+    def origins(self) -> set[Location]:
+        """All distinct origin locations."""
+        return {txn.origin for txn in self.transactions}
+
+    @property
+    def destinations(self) -> set[Location]:
+        """All distinct destination locations."""
+        return {txn.destination for txn in self.transactions}
+
+    @property
+    def od_pairs(self) -> set[tuple[Location, Location]]:
+        """All distinct (origin, destination) pairs."""
+        return {txn.od_pair for txn in self.transactions}
+
+    def date_range(self) -> tuple[date, date]:
+        """Earliest pickup date and latest delivery date in the dataset."""
+        if not self.transactions:
+            raise ValueError("cannot compute the date range of an empty dataset")
+        earliest = min(txn.req_pickup_dt for txn in self.transactions)
+        latest = max(txn.req_delivery_dt for txn in self.transactions)
+        return (earliest, latest)
+
+    def filter(self, predicate) -> "TransactionDataset":
+        """Return a new dataset containing transactions matching *predicate*."""
+        kept = [txn for txn in self.transactions if predicate(txn)]
+        return TransactionDataset(transactions=kept, name=self.name)
+
+    def sample(self, count: int, rng) -> "TransactionDataset":
+        """Return a new dataset with *count* transactions sampled without replacement.
+
+        ``rng`` is a :class:`random.Random` instance so sampling is
+        reproducible; sampling more rows than exist returns a copy.
+        """
+        if count >= len(self.transactions):
+            picked = list(self.transactions)
+        else:
+            picked = rng.sample(self.transactions, count)
+        return TransactionDataset(transactions=picked, name=f"{self.name}-sample")
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Return all transactions as flat records (Table 1 column names)."""
+        return [txn.as_record() for txn in self.transactions]
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[dict[str, object]], name: str = "transportation-od"
+    ) -> "TransactionDataset":
+        """Build a dataset from flat records."""
+        return cls(
+            transactions=[Transaction.from_record(record) for record in records],
+            name=name,
+        )

@@ -1,0 +1,123 @@
+"""Dataset summary statistics (the numbers reported in Section 3 / Table 1).
+
+The paper characterises its dataset with a handful of headline statistics:
+transaction count, distinct latitude-longitude pairs, distinct origins and
+destinations, distinct OD pairs, and the minimum / maximum / average in-
+and out-degrees of the induced directed graph.  This module computes those
+statistics from any :class:`~repro.datasets.schema.TransactionDataset` so
+the Table 1 benchmark can print a paper-versus-measured comparison.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.datasets.schema import TransactionDataset
+
+#: The values the paper reports for its proprietary dataset (Section 3).
+PAPER_REPORTED_STATISTICS: dict[str, float] = {
+    "n_transactions": 98_292,
+    "n_locations": 4_038,
+    "n_origins": 1_797,
+    "n_destinations": 3_770,
+    "n_od_pairs": 20_900,
+    "out_degree_min": 1,
+    "out_degree_max": 2_373,
+    "out_degree_avg": 12,
+    "in_degree_min": 1,
+    "in_degree_max": 832,
+    "in_degree_avg": 6,
+}
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Minimum, maximum, and average of a degree distribution."""
+
+    minimum: int
+    maximum: int
+    average: float
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[object, int]) -> "DegreeSummary":
+        """Summarise a mapping from node to degree."""
+        if not counts:
+            return cls(minimum=0, maximum=0, average=0.0)
+        values = list(counts.values())
+        return cls(
+            minimum=min(values),
+            maximum=max(values),
+            average=sum(values) / len(values),
+        )
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Headline statistics of an OD transaction dataset."""
+
+    n_transactions: int
+    n_locations: int
+    n_origins: int
+    n_destinations: int
+    n_od_pairs: int
+    out_degree: DegreeSummary
+    in_degree: DegreeSummary
+    transactions_per_od_pair: float
+    date_span_days: int
+    mode_counts: dict[str, int]
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten to a dict keyed like :data:`PAPER_REPORTED_STATISTICS`."""
+        return {
+            "n_transactions": self.n_transactions,
+            "n_locations": self.n_locations,
+            "n_origins": self.n_origins,
+            "n_destinations": self.n_destinations,
+            "n_od_pairs": self.n_od_pairs,
+            "out_degree_min": self.out_degree.minimum,
+            "out_degree_max": self.out_degree.maximum,
+            "out_degree_avg": self.out_degree.average,
+            "in_degree_min": self.in_degree.minimum,
+            "in_degree_max": self.in_degree.maximum,
+            "in_degree_avg": self.in_degree.average,
+        }
+
+
+def compute_statistics(dataset: TransactionDataset) -> DatasetStatistics:
+    """Compute the Section 3 statistics for *dataset*.
+
+    Degrees follow the paper's convention: the out-degree of a location is
+    the number of *distinct* destinations it ships to, and the in-degree is
+    the number of distinct origins shipping to it (multiple trips on the
+    same lane do not increase the degree).
+    """
+    if len(dataset) == 0:
+        raise ValueError("cannot compute statistics of an empty dataset")
+
+    od_pairs = dataset.od_pairs
+    out_neighbours: dict[object, set] = {}
+    in_neighbours: dict[object, set] = {}
+    for origin, destination in od_pairs:
+        out_neighbours.setdefault(origin, set()).add(destination)
+        in_neighbours.setdefault(destination, set()).add(origin)
+
+    out_counts = {node: len(neigh) for node, neigh in out_neighbours.items()}
+    in_counts = {node: len(neigh) for node, neigh in in_neighbours.items()}
+
+    mode_counter: Counter[str] = Counter(txn.trans_mode.value for txn in dataset)
+    start, end = dataset.date_range()
+
+    return DatasetStatistics(
+        n_transactions=len(dataset),
+        n_locations=len(dataset.locations),
+        n_origins=len(dataset.origins),
+        n_destinations=len(dataset.destinations),
+        n_od_pairs=len(od_pairs),
+        out_degree=DegreeSummary.from_counts(out_counts),
+        in_degree=DegreeSummary.from_counts(in_counts),
+        transactions_per_od_pair=len(dataset) / len(od_pairs),
+        date_span_days=(end - start).days + 1,
+        mode_counts=dict(mode_counter),
+    )

@@ -1,0 +1,72 @@
+"""Labeled directed graph substrate.
+
+Everything in the paper operates on labeled directed graphs: the full
+transportation network is one large labeled (multi)graph, graph
+transactions produced by partitioning are small labeled graphs, and mined
+patterns are labeled subgraphs.  This package provides the graph data
+structures, label-preserving (sub)graph isomorphism, canonical codes for
+pattern deduplication, the OD graph builders of Section 3, connected
+component utilities, and the transportation motif catalogue (hub-and-spoke,
+chain, cycle, bow-tie) used to interpret mined patterns.
+"""
+
+from repro.graphs.labeled_graph import Edge, LabeledGraph, LabeledMultiGraph
+from repro.graphs.isomorphism import (
+    are_isomorphic,
+    count_embeddings,
+    find_embedding,
+    find_embeddings,
+    has_embedding,
+)
+from repro.graphs.canonical import canonical_code, graph_invariant
+from repro.graphs.builders import (
+    EDGE_ATTRIBUTES,
+    UNIFORM_VERTEX_LABEL,
+    build_od_graph,
+    build_od_multigraph,
+    build_labeled_variants,
+)
+from repro.graphs.components import (
+    connected_components,
+    induced_subgraph,
+    largest_component,
+    remove_orphan_vertices,
+    truncate_to_vertices,
+)
+from repro.graphs.motifs import (
+    MotifShape,
+    bowtie,
+    chain,
+    classify_shape,
+    cycle,
+    hub_and_spoke,
+)
+
+__all__ = [
+    "Edge",
+    "LabeledGraph",
+    "LabeledMultiGraph",
+    "are_isomorphic",
+    "count_embeddings",
+    "find_embedding",
+    "find_embeddings",
+    "has_embedding",
+    "canonical_code",
+    "graph_invariant",
+    "EDGE_ATTRIBUTES",
+    "UNIFORM_VERTEX_LABEL",
+    "build_od_graph",
+    "build_od_multigraph",
+    "build_labeled_variants",
+    "connected_components",
+    "induced_subgraph",
+    "largest_component",
+    "remove_orphan_vertices",
+    "truncate_to_vertices",
+    "MotifShape",
+    "bowtie",
+    "chain",
+    "classify_shape",
+    "cycle",
+    "hub_and_spoke",
+]

@@ -1,0 +1,138 @@
+"""Canonical codes and invariants for labeled directed graphs.
+
+The frequent-subgraph miner must recognise when two candidate patterns are
+the same graph up to isomorphism so duplicates are counted once.  Exact
+canonical labelling of general graphs is as hard as graph isomorphism, but
+the patterns handled here are tiny (a handful of vertices), so a
+straightforward scheme works:
+
+* :func:`graph_invariant` — a cheap, isomorphism-invariant string built
+  from label and degree histograms and Weisfeiler-Lehman style colour
+  refinement.  Equal graphs always produce equal invariants; unequal
+  graphs may rarely collide, so callers that need exactness group by
+  invariant and confirm with
+  :func:`repro.graphs.isomorphism.are_isomorphic`.
+* :func:`canonical_code` — an exact canonical string for small graphs,
+  computed by minimising the adjacency encoding over vertex orderings
+  compatible with the refined colouring.  Raises :class:`CanonicalizationError`
+  when the graph is too large/symmetric to canonicalise exhaustively.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.graphs.labeled_graph import LabeledGraph, VertexId
+
+
+class CanonicalizationError(RuntimeError):
+    """Raised when exact canonicalisation would require too much search."""
+
+
+def _initial_colours(graph: LabeledGraph) -> dict[VertexId, str]:
+    return {
+        vertex: f"{graph.vertex_label(vertex)}|{graph.in_degree(vertex)}|{graph.out_degree(vertex)}"
+        for vertex in graph.vertices()
+    }
+
+
+def _refine_colours(graph: LabeledGraph, colours: dict[VertexId, str], rounds: int = 3) -> dict[VertexId, str]:
+    """Weisfeiler-Lehman colour refinement respecting edge labels and direction."""
+    current = dict(colours)
+    for _ in range(rounds):
+        updated: dict[VertexId, str] = {}
+        for vertex in graph.vertices():
+            out_signature = sorted(
+                f"+{graph.edge_label(vertex, succ)}>{current[succ]}" for succ in graph.successors(vertex)
+            )
+            in_signature = sorted(
+                f"-{graph.edge_label(pred, vertex)}<{current[pred]}" for pred in graph.predecessors(vertex)
+            )
+            updated[vertex] = f"{current[vertex]}({';'.join(out_signature)})({';'.join(in_signature)})"
+        if len(set(updated.values())) == len(set(current.values())):
+            # No further splitting; compress strings to keep them short.
+            break
+        current = updated
+    # Compress colour strings to small integers for stability and brevity.
+    palette = {colour: index for index, colour in enumerate(sorted(set(current.values())))}
+    return {vertex: f"c{palette[current[vertex]]}" for vertex in current}
+
+
+def graph_invariant(graph: LabeledGraph) -> str:
+    """A cheap isomorphism-invariant fingerprint of *graph*.
+
+    Isomorphic graphs always produce the same invariant.  Distinct graphs
+    collide only when colour refinement cannot tell them apart, which for
+    the small labeled patterns mined here is rare; exactness-sensitive
+    callers should verify collisions with an isomorphism test.
+    """
+    colours = _refine_colours(graph, _initial_colours(graph))
+    vertex_part = ",".join(
+        sorted(f"{graph.vertex_label(v)}~{colours[v]}" for v in graph.vertices())
+    )
+    edge_part = ",".join(
+        sorted(
+            f"{colours[e.source]}-{e.label}->{colours[e.target]}"
+            for e in graph.edges()
+        )
+    )
+    return f"V[{vertex_part}]E[{edge_part}]"
+
+
+def _encode_with_order(graph: LabeledGraph, order: list[VertexId]) -> str:
+    index = {vertex: position for position, vertex in enumerate(order)}
+    vertex_part = ",".join(str(graph.vertex_label(vertex)) for vertex in order)
+    edge_entries = sorted(
+        (index[edge.source], index[edge.target], str(edge.label)) for edge in graph.edges()
+    )
+    edge_part = ",".join(f"{s}-{t}:{label}" for s, t, label in edge_entries)
+    return f"{vertex_part}|{edge_part}"
+
+
+def canonical_code(graph: LabeledGraph, max_orderings: int = 50_000) -> str:
+    """An exact canonical string: equal iff two graphs are isomorphic.
+
+    Vertices are first partitioned by refined colour; the code is the
+    lexicographically smallest adjacency encoding over all vertex orderings
+    that respect the colour partition (vertices of a smaller colour class
+    key come first).  The number of orderings explored is the product of
+    the colour-class factorials; if that exceeds *max_orderings* a
+    :class:`CanonicalizationError` is raised — callers should fall back to
+    invariant-plus-isomorphism deduplication for such graphs.
+    """
+    vertices = list(graph.vertices())
+    if not vertices:
+        return "empty"
+    colours = _refine_colours(graph, _initial_colours(graph))
+    groups: dict[str, list[VertexId]] = {}
+    for vertex in vertices:
+        groups.setdefault(colours[vertex], []).append(vertex)
+    group_keys = sorted(groups)
+
+    total_orderings = 1
+    for key in group_keys:
+        size = len(groups[key])
+        for factor in range(2, size + 1):
+            total_orderings *= factor
+        if total_orderings > max_orderings:
+            raise CanonicalizationError(
+                f"graph with {graph.n_vertices} vertices is too symmetric to "
+                f"canonicalise exhaustively (> {max_orderings} orderings)"
+            )
+
+    best: str | None = None
+
+    def extend(prefix: list[VertexId], remaining_groups: list[str]) -> None:
+        nonlocal best
+        if not remaining_groups:
+            code = _encode_with_order(graph, prefix)
+            if best is None or code < best:
+                best = code
+            return
+        key = remaining_groups[0]
+        for perm in permutations(groups[key]):
+            extend(prefix + list(perm), remaining_groups[1:])
+
+    extend([], group_keys)
+    assert best is not None
+    return best

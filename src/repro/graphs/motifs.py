@@ -1,0 +1,236 @@
+"""Transportation network motifs: generators and shape classification.
+
+The paper repeatedly refers to a small catalogue of "good" shapes in
+transportation networks — hub-and-spoke distribution, circular (cycle)
+routes that let a truck return home, long delivery chains, and bow-ties
+(several small loads converging, a large long-distance leg, then fanning
+out again).  This module provides:
+
+* constructors that build each motif as a :class:`LabeledGraph` — used to
+  plant known patterns in simulated data (footnote 2 of the paper) and as
+  fixtures in tests;
+* :func:`classify_shape`, which assigns a mined pattern to one of the
+  motif shapes (or ``OTHER``) — used to interpret the output of the
+  miners, e.g. to confirm that breadth-first partitioning surfaces
+  hub-and-spoke patterns (Figure 2) and depth-first partitioning surfaces
+  chains (Figure 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.graphs.labeled_graph import LabeledGraph
+
+
+class MotifShape(str, enum.Enum):
+    """Named transportation motif shapes."""
+
+    SINGLE_EDGE = "single_edge"
+    HUB_AND_SPOKE = "hub_and_spoke"
+    CHAIN = "chain"
+    CYCLE = "cycle"
+    BOWTIE = "bowtie"
+    OTHER = "other"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def _default_labels(count: int, labels: Sequence[object] | None, fill: object) -> list[object]:
+    if labels is None:
+        return [fill] * count
+    if len(labels) != count:
+        raise ValueError(f"expected {count} labels, got {len(labels)}")
+    return list(labels)
+
+
+def hub_and_spoke(
+    n_spokes: int,
+    vertex_label: object = "place",
+    edge_labels: Sequence[object] | None = None,
+    inbound: bool = False,
+    prefix: str = "hs",
+) -> LabeledGraph:
+    """A hub with *n_spokes* edges to (or from, if *inbound*) distinct spokes.
+
+    The classic distribution pattern: a single source (e.g. a factory)
+    delivering to many destinations — the Figure 2 and Figure 4 shape.
+    """
+    if n_spokes < 1:
+        raise ValueError("a hub-and-spoke needs at least one spoke")
+    labels = _default_labels(n_spokes, edge_labels, 0)
+    graph = LabeledGraph(name=f"{prefix}-hub{n_spokes}")
+    hub = f"{prefix}_hub"
+    graph.add_vertex(hub, vertex_label)
+    for index in range(n_spokes):
+        spoke = f"{prefix}_s{index}"
+        graph.add_vertex(spoke, vertex_label)
+        if inbound:
+            graph.add_edge(spoke, hub, labels[index])
+        else:
+            graph.add_edge(hub, spoke, labels[index])
+    return graph
+
+
+def chain(
+    n_edges: int,
+    vertex_label: object = "place",
+    edge_labels: Sequence[object] | None = None,
+    prefix: str = "ch",
+) -> LabeledGraph:
+    """A directed path with *n_edges* edges (a delivery route, Figure 3)."""
+    if n_edges < 1:
+        raise ValueError("a chain needs at least one edge")
+    labels = _default_labels(n_edges, edge_labels, 0)
+    graph = LabeledGraph(name=f"{prefix}-chain{n_edges}")
+    previous = f"{prefix}_0"
+    graph.add_vertex(previous, vertex_label)
+    for index in range(1, n_edges + 1):
+        current = f"{prefix}_{index}"
+        graph.add_vertex(current, vertex_label)
+        graph.add_edge(previous, current, labels[index - 1])
+        previous = current
+    return graph
+
+
+def cycle(
+    n_edges: int,
+    vertex_label: object = "place",
+    edge_labels: Sequence[object] | None = None,
+    prefix: str = "cy",
+) -> LabeledGraph:
+    """A directed cycle with *n_edges* edges (a circular route returning home)."""
+    if n_edges < 2:
+        raise ValueError("a cycle needs at least two edges")
+    labels = _default_labels(n_edges, edge_labels, 0)
+    graph = LabeledGraph(name=f"{prefix}-cycle{n_edges}")
+    names = [f"{prefix}_{index}" for index in range(n_edges)]
+    for name in names:
+        graph.add_vertex(name, vertex_label)
+    for index in range(n_edges):
+        graph.add_edge(names[index], names[(index + 1) % n_edges], labels[index])
+    return graph
+
+
+def bowtie(
+    n_left: int = 2,
+    n_right: int = 2,
+    vertex_label: object = "place",
+    small_label: object = 0,
+    large_label: object = 1,
+    prefix: str = "bt",
+) -> LabeledGraph:
+    """A bow-tie: small loads converge, one large long-distance leg, loads fan out.
+
+    ``n_left`` small edges converge on the left hub, one large edge crosses
+    to the right hub, and ``n_right`` small edges fan out — the
+    hypothetical multi-modal opportunity described in Section 5.
+    """
+    if n_left < 1 or n_right < 1:
+        raise ValueError("a bow-tie needs at least one edge on each side")
+    graph = LabeledGraph(name=f"{prefix}-bowtie{n_left}x{n_right}")
+    left_hub = f"{prefix}_L"
+    right_hub = f"{prefix}_R"
+    graph.add_vertex(left_hub, vertex_label)
+    graph.add_vertex(right_hub, vertex_label)
+    for index in range(n_left):
+        source = f"{prefix}_l{index}"
+        graph.add_vertex(source, vertex_label)
+        graph.add_edge(source, left_hub, small_label)
+    graph.add_edge(left_hub, right_hub, large_label)
+    for index in range(n_right):
+        target = f"{prefix}_r{index}"
+        graph.add_vertex(target, vertex_label)
+        graph.add_edge(right_hub, target, small_label)
+    return graph
+
+
+def _is_chain(graph: LabeledGraph) -> bool:
+    """A weakly connected path: all degrees <= 2, exactly one source and one sink, no branching."""
+    if graph.n_edges != graph.n_vertices - 1:
+        return False
+    sources = 0
+    sinks = 0
+    for vertex in graph.vertices():
+        out_degree = graph.out_degree(vertex)
+        in_degree = graph.in_degree(vertex)
+        if out_degree > 1 or in_degree > 1:
+            return False
+        if in_degree == 0:
+            sources += 1
+        if out_degree == 0:
+            sinks += 1
+    return sources == 1 and sinks == 1
+
+
+def _is_cycle(graph: LabeledGraph) -> bool:
+    if graph.n_edges != graph.n_vertices or graph.n_vertices < 2:
+        return False
+    return all(
+        graph.out_degree(vertex) == 1 and graph.in_degree(vertex) == 1
+        for vertex in graph.vertices()
+    )
+
+
+def _is_hub_and_spoke(graph: LabeledGraph) -> bool:
+    """A single centre with >= 2 spokes, all edges incident on the centre, same direction."""
+    if graph.n_vertices < 3 or graph.n_edges != graph.n_vertices - 1:
+        return False
+    out_hub = [v for v in graph.vertices() if graph.out_degree(v) == graph.n_edges and graph.in_degree(v) == 0]
+    in_hub = [v for v in graph.vertices() if graph.in_degree(v) == graph.n_edges and graph.out_degree(v) == 0]
+    if len(out_hub) == 1:
+        return all(graph.degree(v) == 1 for v in graph.vertices() if v != out_hub[0])
+    if len(in_hub) == 1:
+        return all(graph.degree(v) == 1 for v in graph.vertices() if v != in_hub[0])
+    return False
+
+
+def _is_bowtie(graph: LabeledGraph) -> bool:
+    """Two hubs connected by one bridge edge, leaves converging on one and fanning from the other."""
+    bridge_candidates = [
+        edge
+        for edge in graph.edges()
+        if graph.in_degree(edge.source) >= 1
+        and graph.out_degree(edge.source) == 1
+        and graph.out_degree(edge.target) >= 1
+        and graph.in_degree(edge.target) == 1
+    ]
+    for edge in bridge_candidates:
+        left, right = edge.source, edge.target
+        leaves = [v for v in graph.vertices() if v not in (left, right)]
+        if len(leaves) < 2:
+            continue
+        converging = all(
+            (graph.has_edge(leaf, left) and graph.degree(leaf) == 1)
+            or (graph.has_edge(right, leaf) and graph.degree(leaf) == 1)
+            for leaf in leaves
+        )
+        expected_edges = len(leaves) + 1
+        has_left_leaf = any(graph.has_edge(leaf, left) for leaf in leaves)
+        has_right_leaf = any(graph.has_edge(right, leaf) for leaf in leaves)
+        if converging and graph.n_edges == expected_edges and has_left_leaf and has_right_leaf:
+            return True
+    return False
+
+
+def classify_shape(graph: LabeledGraph) -> MotifShape:
+    """Classify a (small) pattern graph into one of the motif shapes.
+
+    Labels are ignored; only the wiring matters.  Patterns that fit none of
+    the named shapes are classified as :attr:`MotifShape.OTHER`.
+    """
+    if graph.n_edges == 0:
+        return MotifShape.OTHER
+    if graph.n_edges == 1:
+        return MotifShape.SINGLE_EDGE
+    if _is_cycle(graph):
+        return MotifShape.CYCLE
+    if _is_hub_and_spoke(graph):
+        return MotifShape.HUB_AND_SPOKE
+    if _is_chain(graph):
+        return MotifShape.CHAIN
+    if _is_bowtie(graph):
+        return MotifShape.BOWTIE
+    return MotifShape.OTHER

@@ -1,0 +1,46 @@
+"""Mining algorithms used and evaluated by the paper.
+
+Sub-packages and modules:
+
+* :mod:`repro.mining.fsg` — Apriori-style frequent connected-subgraph
+  mining over sets of graph transactions (the role FSG plays in
+  Sections 5 and 6).
+* :mod:`repro.mining.subdue` — beam-search substructure discovery over a
+  single labeled graph with MDL / Size evaluation (the role SUBDUE plays
+  in Section 5.1).
+* :mod:`repro.mining.discretize`, :mod:`repro.mining.transactional` —
+  Weka-style preprocessing of the flat transaction table (Section 7).
+* :mod:`repro.mining.apriori`, :mod:`repro.mining.interestingness` —
+  frequent itemsets, association rules, and rule-quality metrics
+  (Section 7.1).
+* :mod:`repro.mining.decision_tree` — a C4.5-style classifier standing in
+  for Weka's J4.8 (Section 7.2).
+* :mod:`repro.mining.em_clustering` — expectation-maximisation clustering
+  of the numeric attributes (Section 7.3).
+"""
+
+from repro.mining.fsg import FSGMiner, FrequentSubgraph, MemoryBudgetExceeded, mine_frequent_subgraphs
+from repro.mining.subdue import EvaluationPrinciple, SubdueMiner, Substructure
+from repro.mining.apriori import AssociationRule, Apriori, FrequentItemset
+from repro.mining.decision_tree import DecisionTreeClassifier
+from repro.mining.em_clustering import EMClustering
+from repro.mining.discretize import Discretizer
+from repro.mining.transactional import dataset_to_feature_table, feature_table_to_item_transactions
+
+__all__ = [
+    "FSGMiner",
+    "FrequentSubgraph",
+    "MemoryBudgetExceeded",
+    "mine_frequent_subgraphs",
+    "EvaluationPrinciple",
+    "SubdueMiner",
+    "Substructure",
+    "AssociationRule",
+    "Apriori",
+    "FrequentItemset",
+    "DecisionTreeClassifier",
+    "EMClustering",
+    "Discretizer",
+    "dataset_to_feature_table",
+    "feature_table_to_item_transactions",
+]

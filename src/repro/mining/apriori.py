@@ -1,0 +1,209 @@
+"""Apriori frequent itemsets and association rules (Section 7.1).
+
+The paper runs Weka's Apriori on the discretised transaction table.  This
+module implements the classic Agrawal-Srikant algorithm: level-wise
+candidate generation with the downward-closure prune, followed by rule
+generation from the frequent itemsets.  Rules are annotated with the
+interestingness metrics of :mod:`repro.mining.interestingness` so they can
+be ranked by confidence (as in the paper) or any other measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.mining.interestingness import rule_metrics
+
+Item = str
+Itemset = frozenset
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """An itemset and the number of transactions containing it."""
+
+    items: Itemset
+    support_count: int
+
+    def relative_support(self, n_transactions: int) -> float:
+        """Support as a fraction of the transaction count."""
+        return self.support_count / n_transactions
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """A rule ``antecedent -> consequent`` with its quality metrics."""
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+    lift: float
+    leverage: float
+    conviction: float
+
+    def __str__(self) -> str:
+        lhs = " & ".join(sorted(self.antecedent))
+        rhs = " & ".join(sorted(self.consequent))
+        return f"{lhs} -> {rhs} (conf={self.confidence:.2f}, supp={self.support:.3f})"
+
+    def mentions(self, attribute_prefix: str) -> bool:
+        """Whether any item in the rule starts with ``attribute_prefix``."""
+        return any(
+            item.startswith(attribute_prefix)
+            for item in self.antecedent | self.consequent
+        )
+
+
+@dataclass
+class Apriori:
+    """Classic Apriori miner for frequent itemsets and association rules.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum relative support of an itemset (fraction of transactions).
+    min_confidence:
+        Minimum confidence for generated rules.
+    max_itemset_size:
+        Largest itemset size to mine; ``None`` means unbounded.
+    """
+
+    min_support: float = 0.1
+    min_confidence: float = 0.8
+    max_itemset_size: int | None = None
+    _support_index: dict[Itemset, int] = field(default_factory=dict, init=False)
+    _n_transactions: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_support <= 1.0:
+            raise ValueError("min_support must be in (0, 1]")
+        if not 0.0 < self.min_confidence <= 1.0:
+            raise ValueError("min_confidence must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    # Frequent itemsets
+    # ------------------------------------------------------------------
+    def frequent_itemsets(self, transactions: Sequence[Iterable[Item]]) -> list[FrequentItemset]:
+        """Mine all frequent itemsets from *transactions*."""
+        baskets = [frozenset(transaction) for transaction in transactions]
+        self._n_transactions = len(baskets)
+        if self._n_transactions == 0:
+            raise ValueError("cannot mine an empty transaction set")
+        min_count = max(1, int(round(self.min_support * self._n_transactions)))
+        self._support_index.clear()
+
+        # Level 1: frequent single items.
+        counts: dict[Itemset, int] = {}
+        for basket in baskets:
+            for item in basket:
+                key = frozenset([item])
+                counts[key] = counts.get(key, 0) + 1
+        current = {itemset: count for itemset, count in counts.items() if count >= min_count}
+        frequent: list[FrequentItemset] = []
+        self._record_level(current, frequent)
+
+        size = 1
+        while current:
+            if self.max_itemset_size is not None and size >= self.max_itemset_size:
+                break
+            candidates = self._generate_candidates(set(current), size + 1)
+            if not candidates:
+                break
+            counts = {candidate: 0 for candidate in candidates}
+            for basket in baskets:
+                for candidate in candidates:
+                    if candidate <= basket:
+                        counts[candidate] += 1
+            current = {itemset: count for itemset, count in counts.items() if count >= min_count}
+            self._record_level(current, frequent)
+            size += 1
+        return frequent
+
+    def _record_level(self, level: dict[Itemset, int], accumulator: list[FrequentItemset]) -> None:
+        for itemset, count in level.items():
+            self._support_index[itemset] = count
+            accumulator.append(FrequentItemset(items=itemset, support_count=count))
+
+    def _generate_candidates(self, frequent_prev: set[Itemset], size: int) -> set[Itemset]:
+        """Join frequent (size-1)-itemsets and prune by downward closure."""
+        items = sorted({item for itemset in frequent_prev for item in itemset})
+        candidates: set[Itemset] = set()
+        frequent_list = sorted(frequent_prev, key=sorted)
+        for index, first in enumerate(frequent_list):
+            for second in frequent_list[index + 1:]:
+                union = first | second
+                if len(union) != size:
+                    continue
+                if all(frozenset(subset) in frequent_prev for subset in combinations(union, size - 1)):
+                    candidates.add(union)
+        # ``items`` retained for clarity of the classical description; the
+        # join above already covers candidate generation.
+        del items
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    def rules(
+        self,
+        transactions: Sequence[Iterable[Item]] | None = None,
+        itemsets: Sequence[FrequentItemset] | None = None,
+    ) -> list[AssociationRule]:
+        """Generate association rules meeting the confidence threshold.
+
+        Either pass *transactions* (itemsets are mined first) or reuse the
+        *itemsets* from a prior :meth:`frequent_itemsets` call on the same
+        miner instance.
+        """
+        if itemsets is None:
+            if transactions is None:
+                raise ValueError("either transactions or itemsets must be provided")
+            itemsets = self.frequent_itemsets(transactions)
+        if not self._support_index:
+            raise RuntimeError("frequent_itemsets must be mined before generating rules")
+
+        rules: list[AssociationRule] = []
+        for frequent in itemsets:
+            if len(frequent.items) < 2:
+                continue
+            rules.extend(self._rules_from_itemset(frequent))
+        rules.sort(key=lambda rule: (rule.confidence, rule.support), reverse=True)
+        return rules
+
+    def _rules_from_itemset(self, frequent: FrequentItemset) -> list[AssociationRule]:
+        produced: list[AssociationRule] = []
+        items = frequent.items
+        support_both = frequent.support_count / self._n_transactions
+        for split_size in range(1, len(items)):
+            for antecedent_items in combinations(sorted(items), split_size):
+                antecedent = frozenset(antecedent_items)
+                consequent = items - antecedent
+                antecedent_count = self._support_index.get(antecedent)
+                consequent_count = self._support_index.get(consequent)
+                if antecedent_count is None or consequent_count is None:
+                    continue
+                metrics = rule_metrics(
+                    support_both,
+                    antecedent_count / self._n_transactions,
+                    consequent_count / self._n_transactions,
+                )
+                if metrics["confidence"] < self.min_confidence:
+                    continue
+                produced.append(
+                    AssociationRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        support=metrics["support"],
+                        confidence=metrics["confidence"],
+                        lift=metrics["lift"],
+                        leverage=metrics["leverage"],
+                        conviction=metrics["conviction"],
+                    )
+                )
+        return produced

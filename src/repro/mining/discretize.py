@@ -1,0 +1,146 @@
+"""Weka-style discretisation of numeric attributes (Section 7 preprocessing).
+
+The conventional-mining experiments first discretise the numeric columns of
+the flat transaction table; the association rules in Section 7.1 are stated
+over interval labels such as ``(-inf--4501]`` and ``(-84.76--75.43]``.
+:class:`Discretizer` reproduces that step: it learns bin boundaries per
+attribute (equal-width or equal-frequency) from a feature table and
+rewrites numeric values as Weka-style interval strings, leaving
+non-numeric attributes untouched.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+FeatureRow = Mapping[str, object]
+
+
+def _format_boundary(value: float) -> str:
+    if value == float("inf"):
+        return "inf"
+    if value == float("-inf"):
+        return "-inf"
+    return f"{value:g}"
+
+
+def interval_label(lower: float, upper: float) -> str:
+    """Weka-style half-open interval label ``(lower-upper]``."""
+    return f"({_format_boundary(lower)}-{_format_boundary(upper)}]"
+
+
+@dataclass
+class AttributeDiscretization:
+    """Learned cut points for one numeric attribute."""
+
+    attribute: str
+    cut_points: list[float]
+
+    def label_for(self, value: float) -> str:
+        """The interval label for *value*."""
+        position = bisect_left(self.cut_points, value)
+        lower = float("-inf") if position == 0 else self.cut_points[position - 1]
+        upper = float("inf") if position == len(self.cut_points) else self.cut_points[position]
+        return interval_label(lower, upper)
+
+    @property
+    def n_bins(self) -> int:
+        """Number of intervals produced by the cut points."""
+        return len(self.cut_points) + 1
+
+
+@dataclass
+class Discretizer:
+    """Discretise numeric attributes of a feature table into interval labels.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of intervals per attribute.
+    strategy:
+        ``"equal_width"`` (default, matching Weka's unsupervised default)
+        or ``"equal_frequency"``.
+    attributes:
+        Attributes to discretise; ``None`` means every attribute whose
+        values are all numeric.
+    """
+
+    n_bins: int = 10
+    strategy: str = "equal_width"
+    attributes: Sequence[str] | None = None
+    _discretizations: dict[str, AttributeDiscretization] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_bins < 2:
+            raise ValueError("n_bins must be at least 2")
+        if self.strategy not in ("equal_width", "equal_frequency"):
+            raise ValueError("strategy must be 'equal_width' or 'equal_frequency'")
+
+    # ------------------------------------------------------------------
+    def _numeric_attributes(self, table: Sequence[FeatureRow]) -> list[str]:
+        if not table:
+            return []
+        if self.attributes is not None:
+            return list(self.attributes)
+        candidates = []
+        for attribute in table[0]:
+            values = [row[attribute] for row in table]
+            if all(isinstance(value, (int, float)) and not isinstance(value, bool) for value in values):
+                candidates.append(attribute)
+        return candidates
+
+    def _cut_points(self, values: list[float]) -> list[float]:
+        low, high = min(values), max(values)
+        if low == high:
+            return []
+        if self.strategy == "equal_width":
+            width = (high - low) / self.n_bins
+            return [low + width * index for index in range(1, self.n_bins)]
+        ordered = sorted(values)
+        cuts = []
+        for index in range(1, self.n_bins):
+            position = int(round(index * len(ordered) / self.n_bins))
+            position = min(len(ordered) - 1, max(0, position))
+            cuts.append(ordered[position])
+        # Remove duplicate cut points produced by heavy ties.
+        unique = sorted(set(cuts))
+        return [cut for cut in unique if low < cut < high]
+
+    # ------------------------------------------------------------------
+    def fit(self, table: Sequence[FeatureRow]) -> "Discretizer":
+        """Learn cut points from *table*."""
+        if not table:
+            raise ValueError("cannot fit a discretizer on an empty table")
+        self._discretizations.clear()
+        for attribute in self._numeric_attributes(table):
+            values = [float(row[attribute]) for row in table]
+            self._discretizations[attribute] = AttributeDiscretization(
+                attribute=attribute, cut_points=self._cut_points(values)
+            )
+        return self
+
+    def transform(self, table: Sequence[FeatureRow]) -> list[dict[str, object]]:
+        """Rewrite numeric values as interval labels (non-numeric pass through)."""
+        if not self._discretizations:
+            raise RuntimeError("discretizer must be fitted before transform")
+        transformed: list[dict[str, object]] = []
+        for row in table:
+            new_row: dict[str, object] = {}
+            for attribute, value in row.items():
+                discretization = self._discretizations.get(attribute)
+                if discretization is None:
+                    new_row[attribute] = value
+                else:
+                    new_row[attribute] = discretization.label_for(float(value))
+            transformed.append(new_row)
+        return transformed
+
+    def fit_transform(self, table: Sequence[FeatureRow]) -> list[dict[str, object]]:
+        """Fit on *table* and transform it."""
+        return self.fit(table).transform(table)
+
+    def discretization_for(self, attribute: str) -> AttributeDiscretization:
+        """The learned discretisation of *attribute* (``KeyError`` if not numeric/fitted)."""
+        return self._discretizations[attribute]

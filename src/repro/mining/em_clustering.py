@@ -1,0 +1,248 @@
+"""Expectation-maximisation clustering (the Weka EM role, Section 7.3).
+
+The paper clusters the undiscretised transaction table with Weka's EM
+algorithm, obtaining nine clusters ranging from a three-instance outlier
+cluster (air-freight shipments covering more than 3,000 miles in under a
+day) to a 19,386-instance cluster, and characterises them by their mean
+TOTAL_DISTANCE and TRANSIT_HOURS (Figures 5 and 6).
+
+This module implements a diagonal-covariance Gaussian mixture fitted by
+EM over the numeric attributes, with per-cluster summaries (size, mean and
+standard deviation per attribute) matching what the paper reports, plus a
+cross-validated log-likelihood helper for choosing the number of clusters
+the way Weka's EM does when the count is not given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """Per-cluster statistics reported by the clustering experiments."""
+
+    index: int
+    size: int
+    means: dict[str, float]
+    std_devs: dict[str, float]
+
+    def mean_of(self, attribute: str) -> float:
+        """Mean of *attribute* within the cluster."""
+        return self.means[attribute]
+
+
+@dataclass
+class EMClustering:
+    """Diagonal-covariance Gaussian mixture fitted with EM.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of mixture components (the paper's run settled on nine).
+    max_iterations, tolerance:
+        EM stopping criteria (log-likelihood improvement below *tolerance*
+        stops early).
+    seed:
+        Seed for the k-means++-style initialisation, making runs
+        reproducible.
+    min_variance:
+        Variance floor preventing components from collapsing onto single
+        points.
+    """
+
+    n_clusters: int = 9
+    max_iterations: int = 200
+    tolerance: float = 1e-4
+    seed: int = 11
+    min_variance: float = 1e-6
+
+    attribute_names: list[str] = field(default_factory=list, init=False)
+    means_: np.ndarray | None = field(default=None, init=False)
+    variances_: np.ndarray | None = field(default=None, init=False)
+    weights_: np.ndarray | None = field(default=None, init=False)
+    log_likelihood_: float = field(default=float("-inf"), init=False)
+    _scale_mean: np.ndarray | None = field(default=None, init=False)
+    _scale_std: np.ndarray | None = field(default=None, init=False)
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, matrix: Sequence[Sequence[float]], attribute_names: Sequence[str] | None = None) -> "EMClustering":
+        """Fit the mixture to a numeric matrix (rows are transactions)."""
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError("the input matrix must be a non-empty 2D array")
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be at least 1")
+        if data.shape[0] < self.n_clusters:
+            raise ValueError("cannot fit more clusters than data rows")
+        n_rows, n_columns = data.shape
+        self.attribute_names = (
+            list(attribute_names) if attribute_names is not None else [f"x{i}" for i in range(n_columns)]
+        )
+        if len(self.attribute_names) != n_columns:
+            raise ValueError("attribute_names length must match the number of columns")
+
+        # Standardise columns so EM is not dominated by large-scale attributes.
+        self._scale_mean = data.mean(axis=0)
+        self._scale_std = data.std(axis=0)
+        self._scale_std[self._scale_std == 0] = 1.0
+        scaled = (data - self._scale_mean) / self._scale_std
+
+        rng = np.random.default_rng(self.seed)
+        means = self._initial_means(scaled, rng)
+        variances = np.ones((self.n_clusters, n_columns))
+        weights = np.full(self.n_clusters, 1.0 / self.n_clusters)
+
+        previous_log_likelihood = -np.inf
+        for _ in range(self.max_iterations):
+            responsibilities, log_likelihood = self._e_step(scaled, means, variances, weights)
+            means, variances, weights = self._m_step(scaled, responsibilities)
+            if abs(log_likelihood - previous_log_likelihood) < self.tolerance:
+                previous_log_likelihood = log_likelihood
+                break
+            previous_log_likelihood = log_likelihood
+
+        self.means_ = means
+        self.variances_ = variances
+        self.weights_ = weights
+        self.log_likelihood_ = float(previous_log_likelihood)
+        return self
+
+    def _initial_means(self, scaled: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Farthest-point initial means (deterministic given the first seed).
+
+        Starting from a random row and repeatedly picking the row farthest
+        from all chosen seeds spreads the components across the data and
+        guarantees that extreme outliers — such as the handful of
+        air-freight shipments the paper's EM run isolates into a
+        three-instance cluster — receive their own component.
+        """
+        n_rows = scaled.shape[0]
+        chosen = [int(rng.integers(n_rows))]
+        while len(chosen) < self.n_clusters:
+            current = scaled[chosen]
+            distances = np.min(
+                ((scaled[:, None, :] - current[None, :, :]) ** 2).sum(axis=2), axis=1
+            )
+            distances[chosen] = -1.0
+            chosen.append(int(distances.argmax()))
+        return scaled[chosen].copy()
+
+    def _log_gaussian(self, scaled: np.ndarray, means: np.ndarray, variances: np.ndarray) -> np.ndarray:
+        """Log density of every row under every component (rows x clusters)."""
+        diff = scaled[:, None, :] - means[None, :, :]
+        log_density = -0.5 * (
+            np.log(2.0 * np.pi * variances[None, :, :]) + diff**2 / variances[None, :, :]
+        )
+        return log_density.sum(axis=2)
+
+    def _e_step(
+        self,
+        scaled: np.ndarray,
+        means: np.ndarray,
+        variances: np.ndarray,
+        weights: np.ndarray,
+    ) -> tuple[np.ndarray, float]:
+        log_prob = self._log_gaussian(scaled, means, variances) + np.log(weights[None, :])
+        max_log = log_prob.max(axis=1, keepdims=True)
+        log_norm = max_log + np.log(np.exp(log_prob - max_log).sum(axis=1, keepdims=True))
+        responsibilities = np.exp(log_prob - log_norm)
+        return responsibilities, float(log_norm.sum())
+
+    def _m_step(self, scaled: np.ndarray, responsibilities: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        cluster_mass = responsibilities.sum(axis=0) + 1e-12
+        means = (responsibilities.T @ scaled) / cluster_mass[:, None]
+        diff = scaled[:, None, :] - means[None, :, :]
+        variances = (responsibilities[:, :, None] * diff**2).sum(axis=0) / cluster_mass[:, None]
+        variances = np.maximum(variances, self.min_variance)
+        weights = cluster_mass / scaled.shape[0]
+        return means, variances, weights
+
+    # ------------------------------------------------------------------
+    # Prediction and summaries
+    # ------------------------------------------------------------------
+    def _require_fit(self) -> None:
+        if self.means_ is None:
+            raise RuntimeError("the model must be fitted before use")
+
+    def predict(self, matrix: Sequence[Sequence[float]]) -> list[int]:
+        """Hard cluster assignment (most probable component) for each row."""
+        self._require_fit()
+        data = np.asarray(matrix, dtype=float)
+        scaled = (data - self._scale_mean) / self._scale_std
+        log_prob = self._log_gaussian(scaled, self.means_, self.variances_) + np.log(self.weights_[None, :])
+        return [int(index) for index in log_prob.argmax(axis=1)]
+
+    def log_likelihood(self, matrix: Sequence[Sequence[float]]) -> float:
+        """Total log-likelihood of *matrix* under the fitted mixture."""
+        self._require_fit()
+        data = np.asarray(matrix, dtype=float)
+        scaled = (data - self._scale_mean) / self._scale_std
+        log_prob = self._log_gaussian(scaled, self.means_, self.variances_) + np.log(self.weights_[None, :])
+        max_log = log_prob.max(axis=1, keepdims=True)
+        log_norm = max_log + np.log(np.exp(log_prob - max_log).sum(axis=1, keepdims=True))
+        return float(log_norm.sum())
+
+    def cluster_summaries(self, matrix: Sequence[Sequence[float]]) -> list[ClusterSummary]:
+        """Per-cluster sizes and attribute means/standard deviations.
+
+        Summaries are computed from hard assignments of *matrix* (typically
+        the training data), mirroring the statistics in Figures 5 and 6.
+        Empty clusters are omitted.
+        """
+        self._require_fit()
+        data = np.asarray(matrix, dtype=float)
+        assignments = np.asarray(self.predict(matrix))
+        summaries: list[ClusterSummary] = []
+        for cluster in range(self.n_clusters):
+            member_rows = data[assignments == cluster]
+            if member_rows.shape[0] == 0:
+                continue
+            means = {
+                name: float(member_rows[:, column].mean())
+                for column, name in enumerate(self.attribute_names)
+            }
+            std_devs = {
+                name: float(member_rows[:, column].std())
+                for column, name in enumerate(self.attribute_names)
+            }
+            summaries.append(
+                ClusterSummary(index=cluster, size=int(member_rows.shape[0]), means=means, std_devs=std_devs)
+            )
+        summaries.sort(key=lambda summary: summary.index)
+        return summaries
+
+
+def cross_validated_log_likelihood(
+    matrix: Sequence[Sequence[float]],
+    n_clusters: int,
+    folds: int = 3,
+    seed: int = 11,
+) -> float:
+    """Average held-out log-likelihood per row for a cluster count.
+
+    Weka's EM chooses its cluster count by cross-validated log-likelihood;
+    this helper lets callers reproduce that selection (the paper's run
+    settled on nine clusters).
+    """
+    data = np.asarray(matrix, dtype=float)
+    if data.shape[0] < folds * n_clusters:
+        raise ValueError("not enough rows for the requested folds and clusters")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(data.shape[0])
+    fold_slices = np.array_split(order, folds)
+    total = 0.0
+    count = 0
+    for fold_index in range(folds):
+        test_index = fold_slices[fold_index]
+        train_index = np.concatenate([fold_slices[i] for i in range(folds) if i != fold_index])
+        model = EMClustering(n_clusters=n_clusters, seed=seed)
+        model.fit(data[train_index])
+        total += model.log_likelihood(data[test_index])
+        count += len(test_index)
+    return total / count

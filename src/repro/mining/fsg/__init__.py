@@ -1,0 +1,26 @@
+"""Apriori-style frequent connected-subgraph mining (the FSG role).
+
+The paper uses Kuramochi & Karypis's FSG executable to mine frequent
+connected subgraphs from sets of graph transactions produced by the
+structural (Section 5) and temporal (Section 6) partitionings.  This
+package reimplements the same contract: given labeled graph transactions
+and a minimum support, find every connected subgraph (with matching vertex
+and edge labels) occurring in at least that many transactions.
+
+The miner is level-wise on the number of edges, mirroring FSG's use of
+edges as building blocks, and exposes an explicit *candidate memory
+budget* so the out-of-memory failures the paper reports on large graph
+transactions (Section 6.1) can be reproduced deterministically.
+"""
+
+from repro.mining.fsg.exceptions import MemoryBudgetExceeded
+from repro.mining.fsg.results import FSGResult, FrequentSubgraph
+from repro.mining.fsg.miner import FSGMiner, mine_frequent_subgraphs
+
+__all__ = [
+    "MemoryBudgetExceeded",
+    "FSGResult",
+    "FrequentSubgraph",
+    "FSGMiner",
+    "mine_frequent_subgraphs",
+]

@@ -1,0 +1,168 @@
+"""Candidate generation for the level-wise frequent-subgraph miner.
+
+FSG builds size-(k+1) candidates from size-k frequent subgraphs using
+edges as the unit of growth.  The reimplementation generates candidates by
+*extension*: every frequent k-edge pattern is extended by one edge in all
+possible ways, where the new edge either connects an existing pattern
+vertex to a brand-new vertex or closes a connection between two existing
+vertices, and the (source label, edge label, target label) triple of the
+new edge must itself be frequent.  Because every connected (k+1)-edge
+pattern contains a connected k-edge subgraph obtained by removing a
+non-bridging edge (or a spanning-tree leaf edge), extending all frequent
+k-patterns enumerates every potentially frequent (k+1)-pattern; the
+Apriori principle then guarantees completeness.
+
+Candidates are deduplicated up to label-preserving isomorphism using the
+cheap :func:`~repro.graphs.canonical.graph_invariant` fingerprint with an
+exact isomorphism check inside each fingerprint bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from repro.graphs.canonical import graph_invariant
+from repro.graphs.isomorphism import are_isomorphic
+from repro.graphs.labeled_graph import LabeledGraph
+
+#: A frequent single edge described by its label triple.
+EdgeTriple = tuple[Hashable, Hashable, Hashable]
+
+
+@dataclass
+class Candidate:
+    """A candidate pattern together with the parent transactions to scan."""
+
+    pattern: LabeledGraph
+    parent_tids: frozenset[int]
+    invariant: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.invariant:
+            self.invariant = graph_invariant(self.pattern)
+
+
+def single_edge_pattern(source_label: Hashable, edge_label: Hashable, target_label: Hashable) -> LabeledGraph:
+    """The one-edge pattern graph for a label triple."""
+    graph = LabeledGraph(name="edge-pattern")
+    graph.add_vertex("p0", source_label)
+    graph.add_vertex("p1", target_label)
+    graph.add_edge("p0", "p1", edge_label)
+    return graph
+
+
+def edge_triples(transaction: LabeledGraph) -> set[EdgeTriple]:
+    """The set of (source label, edge label, target label) triples in a graph."""
+    return {
+        (transaction.vertex_label(edge.source), edge.label, transaction.vertex_label(edge.target))
+        for edge in transaction.edges()
+    }
+
+
+def frequent_single_edges(
+    transactions: Sequence[LabeledGraph],
+    min_support: int,
+) -> dict[EdgeTriple, frozenset[int]]:
+    """Label triples occurring in at least *min_support* transactions.
+
+    Returns a mapping from triple to the supporting transaction ids
+    (indices into *transactions*).
+    """
+    occurrences: dict[EdgeTriple, set[int]] = {}
+    for tid, transaction in enumerate(transactions):
+        for triple in edge_triples(transaction):
+            occurrences.setdefault(triple, set()).add(tid)
+    return {
+        triple: frozenset(tids)
+        for triple, tids in occurrences.items()
+        if len(tids) >= min_support
+    }
+
+
+def _fresh_vertex_name(pattern: LabeledGraph) -> str:
+    index = pattern.n_vertices
+    while f"p{index}" in pattern:
+        index += 1
+    return f"p{index}"
+
+
+def extend_pattern(
+    pattern: LabeledGraph,
+    frequent_triples: Iterable[EdgeTriple],
+) -> list[LabeledGraph]:
+    """All one-edge extensions of *pattern* using frequent edge triples.
+
+    Extensions are of two kinds: attach a new vertex to an existing vertex
+    (forward extension) or add an edge between two existing vertices
+    (backward extension).  Both directions are considered because the
+    graphs are directed.  The returned list may contain isomorphic
+    duplicates; the caller deduplicates.
+    """
+    extensions: list[LabeledGraph] = []
+    vertices = list(pattern.vertices())
+    for source_label, edge_label, target_label in frequent_triples:
+        for vertex in vertices:
+            vertex_label = pattern.vertex_label(vertex)
+            # Forward extension: existing vertex -> new vertex.
+            if vertex_label == source_label:
+                extended = pattern.copy()
+                new_vertex = _fresh_vertex_name(extended)
+                extended.add_vertex(new_vertex, target_label)
+                extended.add_edge(vertex, new_vertex, edge_label)
+                extensions.append(extended)
+            # Forward extension: new vertex -> existing vertex.
+            if vertex_label == target_label:
+                extended = pattern.copy()
+                new_vertex = _fresh_vertex_name(extended)
+                extended.add_vertex(new_vertex, source_label)
+                extended.add_edge(new_vertex, vertex, edge_label)
+                extensions.append(extended)
+        # Backward extension: connect two existing vertices.
+        for source in vertices:
+            if pattern.vertex_label(source) != source_label:
+                continue
+            for target in vertices:
+                if source == target or pattern.vertex_label(target) != target_label:
+                    continue
+                if pattern.has_edge(source, target):
+                    continue
+                extended = pattern.copy()
+                extended.add_edge(source, target, edge_label)
+                extensions.append(extended)
+    return extensions
+
+
+def deduplicate(candidates: Iterable[Candidate]) -> list[Candidate]:
+    """Merge isomorphic candidates, unioning their parent transaction sets.
+
+    Candidates are grouped by the cheap graph invariant; an exact
+    isomorphism check resolves collisions within a group so the result
+    contains one representative per isomorphism class.
+    """
+    buckets: dict[str, list[Candidate]] = {}
+    for candidate in candidates:
+        bucket = buckets.setdefault(candidate.invariant, [])
+        for existing in bucket:
+            if are_isomorphic(existing.pattern, candidate.pattern):
+                existing.parent_tids = existing.parent_tids | candidate.parent_tids
+                break
+        else:
+            bucket.append(candidate)
+    unique: list[Candidate] = []
+    for bucket in buckets.values():
+        unique.extend(bucket)
+    return unique
+
+
+def generate_candidates(
+    frequent_patterns: Sequence[Candidate],
+    frequent_triples: Iterable[EdgeTriple],
+) -> list[Candidate]:
+    """Generate deduplicated (k+1)-edge candidates from frequent k-edge patterns."""
+    triples = list(frequent_triples)
+    raw: list[Candidate] = []
+    for parent in frequent_patterns:
+        for extended in extend_pattern(parent.pattern, triples):
+            raw.append(Candidate(pattern=extended, parent_tids=parent.parent_tids))
+    return deduplicate(raw)

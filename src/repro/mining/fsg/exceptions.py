@@ -1,0 +1,25 @@
+"""Exceptions raised by the frequent-subgraph miner."""
+
+from __future__ import annotations
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """Raised when candidate generation exceeds the configured memory budget.
+
+    The paper could not run FSG on the large temporal graph transactions
+    because the candidate sets exhausted memory and swap (Section 6.1 and
+    Section 8).  The reimplementation models that limit explicitly: the
+    miner tracks how many candidate patterns are alive at each level and
+    raises this exception when the configured budget is exceeded, allowing
+    the failure mode to be reproduced and tested deterministically instead
+    of actually exhausting the machine.
+    """
+
+    def __init__(self, level: int, candidates: int, budget: int) -> None:
+        self.level = level
+        self.candidates = candidates
+        self.budget = budget
+        super().__init__(
+            f"candidate set at level {level} has {candidates} patterns, "
+            f"exceeding the memory budget of {budget}"
+        )

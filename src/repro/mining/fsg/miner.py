@@ -1,0 +1,171 @@
+"""The level-wise frequent connected-subgraph miner (FSG driver).
+
+:class:`FSGMiner` mines all connected subgraphs occurring in at least
+``min_support`` graph transactions, level by level on the edge count:
+
+1. find frequent single edges (label triples);
+2. repeatedly extend frequent k-edge patterns by one edge, deduplicate the
+   candidates up to isomorphism, count support using TID lists, and keep
+   the frequent ones;
+3. stop when no new frequent pattern appears, the maximum pattern size is
+   reached, or the candidate memory budget is exceeded.
+
+The memory budget reproduces the paper's Section 6.1 observation that FSG
+runs out of memory on large temporal graph transactions with many distinct
+vertex labels; see :class:`~repro.mining.fsg.exceptions.MemoryBudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.mining.fsg.candidates import (
+    Candidate,
+    frequent_single_edges,
+    generate_candidates,
+    single_edge_pattern,
+)
+from repro.mining.fsg.exceptions import MemoryBudgetExceeded
+from repro.mining.fsg.results import FSGResult, FrequentSubgraph
+from repro.mining.fsg.support import prune_infrequent
+
+
+def _resolve_min_support(min_support: float | int, n_transactions: int) -> int:
+    """Turn a fractional or absolute support threshold into an absolute count."""
+    if n_transactions <= 0:
+        raise ValueError("cannot mine an empty transaction set")
+    if isinstance(min_support, float) and 0.0 < min_support <= 1.0:
+        return max(1, int(round(min_support * n_transactions)))
+    absolute = int(min_support)
+    if absolute < 1:
+        raise ValueError("min_support must be at least 1 transaction (or a fraction in (0, 1])")
+    return absolute
+
+
+@dataclass
+class FSGMiner:
+    """Frequent connected-subgraph miner over a set of graph transactions.
+
+    Parameters
+    ----------
+    min_support:
+        Either an absolute transaction count (``int``) or a fraction of the
+        transaction set (``float`` in ``(0, 1]``), as in the paper's 5%
+        support experiments.
+    max_edges:
+        Largest pattern size (in edges) to mine; ``None`` means unbounded.
+    memory_budget:
+        Maximum number of candidate patterns allowed at a single level;
+        ``None`` disables the budget.  Exceeding it raises
+        :class:`MemoryBudgetExceeded` unless ``abort_on_budget`` is false,
+        in which case mining stops early and the result is flagged.
+    abort_on_budget:
+        Whether exceeding the memory budget raises (default) or merely
+        truncates the result.
+    min_pattern_edges:
+        Smallest pattern size to report.  The paper reports single-edge
+        patterns too, so the default is 1.
+    """
+
+    min_support: float | int = 0.05
+    max_edges: int | None = None
+    memory_budget: int | None = None
+    abort_on_budget: bool = True
+    min_pattern_edges: int = 1
+
+    def mine(self, transactions: Sequence[LabeledGraph]) -> FSGResult:
+        """Mine all frequent connected subgraphs from *transactions*."""
+        n_transactions = len(transactions)
+        support_threshold = _resolve_min_support(self.min_support, n_transactions)
+        result = FSGResult(
+            n_transactions=n_transactions,
+            min_support=support_threshold,
+        )
+
+        triples_with_tids = frequent_single_edges(transactions, support_threshold)
+        frequent_triples = list(triples_with_tids)
+        level_patterns: list[tuple[Candidate, frozenset[int]]] = []
+        for triple, tids in triples_with_tids.items():
+            candidate = Candidate(
+                pattern=single_edge_pattern(*triple),
+                parent_tids=tids,
+            )
+            level_patterns.append((candidate, tids))
+        result.candidates_generated += len(level_patterns)
+        self._record_level(result, level_patterns, level=1)
+        result.levels_completed = 1
+
+        level = 1
+        while level_patterns:
+            if self.max_edges is not None and level >= self.max_edges:
+                break
+            parents = [
+                Candidate(pattern=candidate.pattern, parent_tids=tids, invariant=candidate.invariant)
+                for candidate, tids in level_patterns
+            ]
+            candidates = generate_candidates(parents, frequent_triples)
+            result.candidates_generated += len(candidates)
+            if self.memory_budget is not None and len(candidates) > self.memory_budget:
+                if self.abort_on_budget:
+                    raise MemoryBudgetExceeded(level + 1, len(candidates), self.memory_budget)
+                result.aborted = True
+                result.abort_reason = (
+                    f"candidate set at level {level + 1} ({len(candidates)} patterns) "
+                    f"exceeded the memory budget of {self.memory_budget}"
+                )
+                break
+            level_patterns = prune_infrequent(candidates, transactions, support_threshold)
+            level += 1
+            if level_patterns:
+                self._record_level(result, level_patterns, level=level)
+                result.levels_completed = level
+        return result
+
+    def _record_level(
+        self,
+        result: FSGResult,
+        level_patterns: Sequence[tuple[Candidate, frozenset[int]]],
+        level: int,
+    ) -> None:
+        if level < self.min_pattern_edges:
+            return
+        for candidate, tids in level_patterns:
+            result.patterns.append(
+                FrequentSubgraph(
+                    pattern=candidate.pattern,
+                    support=len(tids),
+                    supporting_transactions=tids,
+                )
+            )
+
+
+def mine_frequent_subgraphs(
+    transactions: Sequence[LabeledGraph],
+    min_support: float | int = 0.05,
+    max_edges: int | None = None,
+    memory_budget: int | None = None,
+    min_pattern_edges: int = 1,
+) -> FSGResult:
+    """Convenience wrapper around :class:`FSGMiner`."""
+    miner = FSGMiner(
+        min_support=min_support,
+        max_edges=max_edges,
+        memory_budget=memory_budget,
+        min_pattern_edges=min_pattern_edges,
+    )
+    return miner.mine(transactions)
+
+
+def timed_mine(
+    transactions: Sequence[LabeledGraph],
+    min_support: float | int = 0.05,
+    max_edges: int | None = None,
+) -> tuple[FSGResult, float]:
+    """Mine and return (result, elapsed seconds); used by the scaling benchmarks."""
+    start = time.perf_counter()
+    result = mine_frequent_subgraphs(transactions, min_support=min_support, max_edges=max_edges)
+    elapsed = time.perf_counter() - start
+    return result, elapsed

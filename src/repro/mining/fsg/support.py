@@ -1,0 +1,63 @@
+"""Support counting for candidate subgraph patterns.
+
+A pattern's support is the number of graph transactions containing at
+least one embedding of the pattern (label-preserving subgraph isomorphism,
+Section 4 of the paper).  Counting uses transaction-id (TID) lists: a
+candidate produced by extending a parent pattern can only occur in
+transactions that supported the parent, so only those are scanned.  This
+is the standard Apriori optimisation and keeps the isomorphism workload
+proportional to the surviving candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graphs.isomorphism import has_embedding
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.mining.fsg.candidates import Candidate
+
+
+def supporting_transactions(
+    candidate: Candidate,
+    transactions: Sequence[LabeledGraph],
+    restrict_to_parent_tids: bool = True,
+) -> frozenset[int]:
+    """The ids of transactions containing the candidate pattern."""
+    if restrict_to_parent_tids:
+        tids_to_scan = sorted(candidate.parent_tids)
+    else:
+        tids_to_scan = range(len(transactions))
+    supported = {
+        tid
+        for tid in tids_to_scan
+        if has_embedding(candidate.pattern, transactions[tid])
+    }
+    return frozenset(supported)
+
+
+def count_support(
+    candidate: Candidate,
+    transactions: Sequence[LabeledGraph],
+    restrict_to_parent_tids: bool = True,
+) -> int:
+    """Number of transactions containing the candidate pattern."""
+    return len(supporting_transactions(candidate, transactions, restrict_to_parent_tids))
+
+
+def prune_infrequent(
+    candidates: Sequence[Candidate],
+    transactions: Sequence[LabeledGraph],
+    min_support: int,
+) -> list[tuple[Candidate, frozenset[int]]]:
+    """Keep candidates whose support meets the threshold.
+
+    Returns (candidate, supporting transaction ids) pairs; the TID set
+    becomes the parent TID list for the next level's candidates.
+    """
+    surviving: list[tuple[Candidate, frozenset[int]]] = []
+    for candidate in candidates:
+        tids = supporting_transactions(candidate, transactions)
+        if len(tids) >= min_support:
+            surviving.append((candidate, tids))
+    return surviving

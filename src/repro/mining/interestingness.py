@@ -1,0 +1,89 @@
+"""Interestingness measures for association rules.
+
+Section 7.1 reports association rules with their confidence; Section 9
+points out that a variety of interestingness metrics exist for association
+rules (citing Silverstein et al. and Tan et al.) and that analogous
+measures are still missing for graph patterns.  This module implements the
+standard rule metrics so mined rules can be ranked and filtered the way
+those papers propose: confidence, lift (interest), leverage
+(Piatetsky-Shapiro), conviction, and the chi-squared-style dependence
+measure.
+
+All functions take plain probabilities (relative supports) so they can be
+used both by the Apriori rule generator and in isolation.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _validate_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+def confidence(support_both: float, support_antecedent: float) -> float:
+    """P(consequent | antecedent) = support(A ∪ C) / support(A)."""
+    _validate_probability("support_both", support_both)
+    _validate_probability("support_antecedent", support_antecedent)
+    if support_antecedent == 0:
+        return 0.0
+    return support_both / support_antecedent
+
+
+def lift(support_both: float, support_antecedent: float, support_consequent: float) -> float:
+    """Ratio of observed co-occurrence to the independence expectation.
+
+    Lift 1 means independence; above 1 means positive association.
+    """
+    _validate_probability("support_consequent", support_consequent)
+    conf = confidence(support_both, support_antecedent)
+    if support_consequent == 0:
+        return 0.0
+    return conf / support_consequent
+
+
+def leverage(support_both: float, support_antecedent: float, support_consequent: float) -> float:
+    """Piatetsky-Shapiro leverage: P(A,C) - P(A)P(C)."""
+    _validate_probability("support_both", support_both)
+    _validate_probability("support_antecedent", support_antecedent)
+    _validate_probability("support_consequent", support_consequent)
+    return support_both - support_antecedent * support_consequent
+
+
+def conviction(support_both: float, support_antecedent: float, support_consequent: float) -> float:
+    """Conviction: P(A)P(not C) / P(A, not C); infinite for exact implications."""
+    conf = confidence(support_both, support_antecedent)
+    if conf >= 1.0:
+        return math.inf
+    return (1.0 - support_consequent) / (1.0 - conf)
+
+
+def dependence(support_both: float, support_antecedent: float, support_consequent: float) -> float:
+    """Absolute deviation from independence, normalised to [0, 1].
+
+    A simple dependence-rule style measure: |P(A,C) - P(A)P(C)| divided by
+    its maximum possible value given the marginals.
+    """
+    expected = support_antecedent * support_consequent
+    maximum = min(support_antecedent, support_consequent) - expected
+    if maximum <= 0:
+        return 0.0
+    return abs(support_both - expected) / maximum
+
+
+def rule_metrics(
+    support_both: float,
+    support_antecedent: float,
+    support_consequent: float,
+) -> dict[str, float]:
+    """All implemented metrics for one rule, keyed by metric name."""
+    return {
+        "support": support_both,
+        "confidence": confidence(support_both, support_antecedent),
+        "lift": lift(support_both, support_antecedent, support_consequent),
+        "leverage": leverage(support_both, support_antecedent, support_consequent),
+        "conviction": conviction(support_both, support_antecedent, support_consequent),
+        "dependence": dependence(support_both, support_antecedent, support_consequent),
+    }

@@ -1,0 +1,67 @@
+"""Substructure expansion: growing candidates by one edge at a time.
+
+SUBDUE's search expands every instance of the current substructure by one
+edge incident on the instance, then re-groups the extended instances by
+the pattern they form.  Working at the instance level (rather than
+re-running subgraph isomorphism against the whole host graph) keeps each
+expansion step proportional to the number of instances times the local
+edge density.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.mining.subdue.substructure import (
+    Instance,
+    Substructure,
+    group_instances_by_pattern,
+)
+
+
+def initial_substructures(host: LabeledGraph) -> list[Substructure]:
+    """One single-vertex substructure per distinct vertex label.
+
+    Each substructure's instances are all host vertices carrying that
+    label; these seed the beam search.
+    """
+    by_label: dict[object, list[Instance]] = {}
+    for vertex in host.vertices():
+        by_label.setdefault(host.vertex_label(vertex), []).append(Instance.from_vertex(vertex))
+    substructures: list[Substructure] = []
+    for label, instances in by_label.items():
+        pattern = LabeledGraph(name=f"seed-{label}")
+        pattern.add_vertex("p0", label)
+        substructures.append(Substructure(pattern=pattern, instances=instances))
+    return substructures
+
+
+def expand_instance(host: LabeledGraph, instance: Instance) -> list[Instance]:
+    """All one-edge extensions of *instance* using edges incident on it."""
+    extensions: list[Instance] = []
+    seen: set[frozenset] = set()
+    for vertex in instance.vertices:
+        for edge in host.incident_edges(vertex):
+            if edge in instance.edges:
+                continue
+            extended = instance.extended_with(edge)
+            key = extended.edges
+            if key in seen:
+                continue
+            seen.add(key)
+            extensions.append(extended)
+    return extensions
+
+
+def expand_substructure(host: LabeledGraph, substructure: Substructure) -> list[Substructure]:
+    """Expand every instance by one edge and re-group by pattern.
+
+    Duplicate instances (identical edge sets reached from different parent
+    instances) are merged before grouping.
+    """
+    extended: dict[tuple[frozenset, frozenset], Instance] = {}
+    for instance in substructure.instances:
+        for new_instance in expand_instance(host, instance):
+            extended[(new_instance.vertices, new_instance.edges)] = new_instance
+    if not extended:
+        return []
+    return group_instances_by_pattern(host, list(extended.values()))

@@ -1,0 +1,153 @@
+"""The SUBDUE beam-search driver.
+
+:class:`SubdueMiner` reproduces the behaviour of SUBDUE 5.1 as used in
+Section 5.1 of the paper:
+
+* candidate substructures start as single vertices and grow one edge at a
+  time (:mod:`repro.mining.subdue.expansion`);
+* at each step only the ``beam_width`` best-valued candidates are kept;
+* candidates are valued with the MDL or Size principle
+  (:mod:`repro.mining.subdue.evaluation`); only substructures with at
+  least ``min_instances`` non-overlapping instances are considered, since
+  the paper's runs disallow overlap;
+* the search stops after ``limit`` candidates have been evaluated or when
+  no candidate can be expanded further, and the ``max_best`` best
+  substructures are reported;
+* :meth:`SubdueMiner.mine_hierarchical` repeats discovery on the
+  compressed graph, producing the hierarchical description SUBDUE is known
+  for.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.mining.subdue.compression import compress_graph
+from repro.mining.subdue.evaluation import EvaluationPrinciple, evaluate
+from repro.mining.subdue.expansion import expand_substructure, initial_substructures
+from repro.mining.subdue.substructure import Substructure
+
+
+@dataclass
+class SubdueResult:
+    """Output of one SUBDUE run: the best substructures plus run metadata."""
+
+    best: list[Substructure] = field(default_factory=list)
+    evaluated: int = 0
+    elapsed_seconds: float = 0.0
+    principle: EvaluationPrinciple = EvaluationPrinciple.MDL
+
+    def __len__(self) -> int:
+        return len(self.best)
+
+    def __iter__(self):
+        return iter(self.best)
+
+    def top(self) -> Substructure | None:
+        """The single best substructure, or ``None`` if nothing was found."""
+        return self.best[0] if self.best else None
+
+
+@dataclass
+class SubdueMiner:
+    """Beam-search substructure discovery over a single labeled graph.
+
+    Parameters mirror the SUBDUE command line options used in the paper:
+    ``beam_width`` (beam size), ``max_best`` (number of substructures to
+    report), ``max_substructure_edges`` (size limit), ``limit`` (number of
+    candidate substructures considered before stopping), ``principle``
+    (MDL or Size), and ``min_instances`` (minimum number of
+    non-overlapping instances for a candidate to be worth reporting —
+    a pattern seen once compresses nothing).
+    """
+
+    beam_width: int = 4
+    max_best: int = 3
+    max_substructure_edges: int | None = 6
+    limit: int | None = 1_000
+    principle: EvaluationPrinciple = EvaluationPrinciple.MDL
+    min_instances: int = 2
+    max_instances: int | None = 2_000
+
+    def mine(self, host: LabeledGraph) -> SubdueResult:
+        """Discover the best substructures of *host*."""
+        start = time.perf_counter()
+        result = SubdueResult(principle=self.principle)
+        frontier = initial_substructures(host)
+        best: list[Substructure] = []
+        evaluated = 0
+
+        while frontier:
+            expanded: list[Substructure] = []
+            for parent in frontier:
+                if (
+                    self.max_substructure_edges is not None
+                    and parent.pattern.n_edges >= self.max_substructure_edges
+                ):
+                    continue
+                expanded.extend(expand_substructure(host, parent))
+            if not expanded:
+                break
+
+            scored: list[Substructure] = []
+            for candidate in expanded:
+                if self.max_instances is not None and len(candidate.instances) > self.max_instances:
+                    # Cap the instance list so expansion cost stays bounded on
+                    # dense hubs (SUBDUE applies a similar instance limit).
+                    candidate.instances = candidate.instances[: self.max_instances]
+                if candidate.n_non_overlapping < self.min_instances:
+                    continue
+                candidate.value = evaluate(host, candidate, self.principle)
+                evaluated += 1
+                scored.append(candidate)
+                if self.limit is not None and evaluated >= self.limit:
+                    break
+
+            best.extend(scored)
+            best = self._keep_best(best, self.max_best)
+            if self.limit is not None and evaluated >= self.limit:
+                break
+            frontier = self._keep_best(scored, self.beam_width)
+
+        result.best = self._keep_best(best, self.max_best)
+        result.evaluated = evaluated
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    def mine_hierarchical(self, host: LabeledGraph, passes: int = 3) -> list[SubdueResult]:
+        """Iteratively discover and compress, producing a hierarchy of substructures.
+
+        After each pass the best substructure's instances are collapsed
+        into single vertices and discovery repeats on the compressed
+        graph.  Passes stop early when no substructure is found or the
+        graph no longer shrinks.
+        """
+        if passes < 1:
+            raise ValueError("passes must be at least 1")
+        results: list[SubdueResult] = []
+        current = host
+        for pass_index in range(passes):
+            result = self.mine(current)
+            results.append(result)
+            top = result.top()
+            if top is None or top.n_non_overlapping < self.min_instances:
+                break
+            compressed = compress_graph(current, top, replacement_label=f"SUB{pass_index}")
+            if compressed.n_vertices + compressed.n_edges >= current.n_vertices + current.n_edges:
+                break
+            current = compressed
+        return results
+
+    @staticmethod
+    def _keep_best(substructures: list[Substructure], count: int) -> list[Substructure]:
+        """The *count* highest-valued substructures, deduplicated by pattern fingerprint."""
+        unique: dict[str, Substructure] = {}
+        for substructure in substructures:
+            key = substructure.invariant()
+            existing = unique.get(key)
+            if existing is None or substructure.value > existing.value:
+                unique[key] = substructure
+        ordered = sorted(unique.values(), key=lambda s: s.value, reverse=True)
+        return ordered[:count]

@@ -1,0 +1,135 @@
+"""Substructures and their instances in a host graph.
+
+A *substructure* is a small pattern graph together with the list of its
+*instances* — concrete occurrences inside the host graph, each identified
+by the host vertices and edges it covers.  SUBDUE grows substructures by
+extending every instance by one incident edge and re-grouping the extended
+instances by the pattern they form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.canonical import graph_invariant
+from repro.graphs.isomorphism import are_isomorphic
+from repro.graphs.labeled_graph import Edge, LabeledGraph, VertexId
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One concrete occurrence of a substructure inside the host graph."""
+
+    vertices: frozenset[VertexId]
+    edges: frozenset[Edge]
+
+    @classmethod
+    def from_vertex(cls, vertex: VertexId) -> "Instance":
+        """A single-vertex instance (the starting point of the search)."""
+        return cls(vertices=frozenset([vertex]), edges=frozenset())
+
+    def extended_with(self, edge: Edge) -> "Instance":
+        """A new instance including *edge* and its endpoints."""
+        return Instance(
+            vertices=self.vertices | {edge.source, edge.target},
+            edges=self.edges | {edge},
+        )
+
+    def overlaps(self, other: "Instance") -> bool:
+        """Whether the two instances share any vertex."""
+        return bool(self.vertices & other.vertices)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges covered by the instance."""
+        return len(self.edges)
+
+
+def instance_pattern(host: LabeledGraph, instance: Instance) -> LabeledGraph:
+    """The pattern graph an instance represents (host labels preserved)."""
+    pattern = LabeledGraph(name="substructure")
+    for vertex in instance.vertices:
+        pattern.add_vertex(vertex, host.vertex_label(vertex))
+    for edge in instance.edges:
+        pattern.add_edge(edge.source, edge.target, edge.label)
+    return pattern
+
+
+def select_non_overlapping(instances: list[Instance]) -> list[Instance]:
+    """Greedy maximal set of vertex-disjoint instances.
+
+    The paper's experiments disallow overlapping patterns, so substructure
+    value is computed from vertex-disjoint instances only.
+    """
+    chosen: list[Instance] = []
+    used: set[VertexId] = set()
+    for instance in instances:
+        if instance.vertices & used:
+            continue
+        chosen.append(instance)
+        used |= instance.vertices
+    return chosen
+
+
+@dataclass
+class Substructure:
+    """A pattern graph plus its instances in the host graph."""
+
+    pattern: LabeledGraph
+    instances: list[Instance] = field(default_factory=list)
+    value: float = 0.0
+
+    @property
+    def n_instances(self) -> int:
+        """Number of (possibly overlapping) instances found."""
+        return len(self.instances)
+
+    @property
+    def n_non_overlapping(self) -> int:
+        """Number of vertex-disjoint instances (the count SUBDUE reports)."""
+        return len(select_non_overlapping(self.instances))
+
+    @property
+    def n_edges(self) -> int:
+        """Edges in the pattern graph."""
+        return self.pattern.n_edges
+
+    @property
+    def n_vertices(self) -> int:
+        """Vertices in the pattern graph."""
+        return self.pattern.n_vertices
+
+    def invariant(self) -> str:
+        """Isomorphism-invariant fingerprint of the pattern."""
+        return graph_invariant(self.pattern)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Substructure(vertices={self.n_vertices}, edges={self.n_edges}, "
+            f"instances={self.n_instances}, value={self.value:.4f})"
+        )
+
+
+def group_instances_by_pattern(host: LabeledGraph, instances: list[Instance]) -> list[Substructure]:
+    """Group raw instances into substructures by pattern isomorphism.
+
+    Instances whose induced patterns are isomorphic (labels included)
+    belong to the same substructure.  Grouping uses the cheap invariant
+    with exact isomorphism confirmation inside each bucket.
+    """
+    buckets: dict[str, list[tuple[LabeledGraph, list[Instance]]]] = {}
+    for instance in instances:
+        pattern = instance_pattern(host, instance)
+        key = graph_invariant(pattern)
+        bucket = buckets.setdefault(key, [])
+        for existing_pattern, existing_instances in bucket:
+            if are_isomorphic(existing_pattern, pattern):
+                existing_instances.append(instance)
+                break
+        else:
+            bucket.append((pattern, [instance]))
+    substructures: list[Substructure] = []
+    for bucket in buckets.values():
+        for pattern, grouped in bucket:
+            substructures.append(Substructure(pattern=pattern, instances=grouped))
+    return substructures

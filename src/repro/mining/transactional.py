@@ -1,0 +1,96 @@
+"""Mapping the OD dataset into flat transactional / tabular forms (Section 7).
+
+The conventional-mining experiments ignore the network structure and work
+on the transaction table directly.  Two representations are needed:
+
+* a *feature table* — one dict per transaction with the Table 1 attributes
+  (the two date attributes are excluded by default, as in the paper, which
+  dropped them because Weka's DATE-to-REAL mapping made results hard to
+  interpret);
+* *item transactions* — one set of ``ATTRIBUTE=value`` items per row, the
+  market-basket representation consumed by Apriori.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.datasets.schema import Transaction, TransactionDataset
+
+#: Attributes used by the conventional-mining experiments (dates excluded).
+CONVENTIONAL_ATTRIBUTES: tuple[str, ...] = (
+    "ORIGIN_LATITUDE",
+    "ORIGIN_LONGITUDE",
+    "DEST_LATITUDE",
+    "DEST_LONGITUDE",
+    "TOTAL_DISTANCE",
+    "GROSS_WEIGHT",
+    "MOVE_TRANSIT_HOURS",
+    "TRANS_MODE",
+)
+
+#: The attribute subset used by Section 7.1's Experiment 2 (OD coordinates only).
+COORDINATE_ATTRIBUTES: tuple[str, ...] = (
+    "ORIGIN_LATITUDE",
+    "ORIGIN_LONGITUDE",
+    "DEST_LATITUDE",
+    "DEST_LONGITUDE",
+)
+
+
+def transaction_features(
+    transaction: Transaction,
+    attributes: Sequence[str] = CONVENTIONAL_ATTRIBUTES,
+) -> dict[str, object]:
+    """The flat feature dict of one transaction restricted to *attributes*."""
+    record = transaction.as_record()
+    unknown = set(attributes) - set(record)
+    if unknown:
+        raise KeyError(f"unknown attributes requested: {sorted(unknown)}")
+    return {attribute: record[attribute] for attribute in attributes}
+
+
+def dataset_to_feature_table(
+    dataset: TransactionDataset,
+    attributes: Sequence[str] = CONVENTIONAL_ATTRIBUTES,
+) -> list[dict[str, object]]:
+    """The full feature table of *dataset* (one dict per transaction)."""
+    return [transaction_features(transaction, attributes) for transaction in dataset]
+
+
+def feature_table_to_item_transactions(
+    table: Sequence[Mapping[str, object]],
+) -> list[frozenset[str]]:
+    """Convert a (typically discretised) feature table to item transactions.
+
+    Each row becomes a set of ``ATTRIBUTE=value`` items — the standard
+    market-basket encoding for mining association rules over tabular data.
+    """
+    transactions: list[frozenset[str]] = []
+    for row in table:
+        items = frozenset(f"{attribute}={value}" for attribute, value in row.items())
+        transactions.append(items)
+    return transactions
+
+
+def numeric_matrix(
+    table: Sequence[Mapping[str, object]],
+    attributes: Sequence[str],
+) -> list[list[float]]:
+    """Extract a pure-numeric matrix (rows x attributes) from a feature table.
+
+    Used by the EM clustering experiment, which runs on the undiscretised
+    numeric attributes.  Raises ``ValueError`` when a value is not numeric.
+    """
+    matrix: list[list[float]] = []
+    for index, row in enumerate(table):
+        values: list[float] = []
+        for attribute in attributes:
+            value = row[attribute]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"attribute {attribute!r} in row {index} is not numeric: {value!r}"
+                )
+            values.append(float(value))
+        matrix.append(values)
+    return matrix

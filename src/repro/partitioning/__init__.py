@@ -1,0 +1,49 @@
+"""Partitioning the single transportation graph into graph transactions.
+
+The paper's central device is to make a single large labeled graph
+amenable to transaction-based graph miners by partitioning it:
+
+* :mod:`repro.partitioning.split_graph` — Algorithm 2: breadth-first /
+  depth-first edge-pulling partitioning of a single graph into
+  near-equal-size sub-graph transactions.
+* :mod:`repro.partitioning.structural` — Algorithm 1: repeat the
+  partitioning several times with different random seeds and mine each
+  partitioning with FSG, taking the union of the discovered patterns.
+* :mod:`repro.partitioning.temporal` — Section 6: one graph transaction
+  per calendar date containing the OD pairs active on that date, split
+  into connected components and filtered before mining.
+* :mod:`repro.partitioning.multilevel` — a METIS-like balanced
+  partitioner used as an ablation baseline (the paper mentions METIS as
+  the alternative it chose not to use).
+* :mod:`repro.partitioning.windows` — sliding time-window partitioning,
+  implementing the Section 9 observation that patterns appearing over a
+  time window matter more than patterns visible at a single instant.
+"""
+
+from repro.partitioning.split_graph import PartitionStrategy, split_graph
+from repro.partitioning.structural import StructuralMiningConfig, mine_single_graph
+from repro.partitioning.temporal import (
+    TemporalPartitionSummary,
+    TemporalTransaction,
+    partition_by_date,
+    prepare_temporal_transactions,
+    summarize_transactions,
+)
+from repro.partitioning.multilevel import multilevel_partition
+from repro.partitioning.windows import WindowTransaction, partition_by_window, window_graphs
+
+__all__ = [
+    "WindowTransaction",
+    "partition_by_window",
+    "window_graphs",
+    "PartitionStrategy",
+    "split_graph",
+    "StructuralMiningConfig",
+    "mine_single_graph",
+    "TemporalPartitionSummary",
+    "TemporalTransaction",
+    "partition_by_date",
+    "prepare_temporal_transactions",
+    "summarize_transactions",
+    "multilevel_partition",
+]

@@ -1,0 +1,78 @@
+"""A METIS-like balanced partitioner used as an ablation baseline.
+
+The paper mentions that efficient graph partitioning algorithms such as
+METIS exist but deliberately chooses breadth-first / depth-first
+edge-pulling because it controls the *shape* of the patterns that survive
+partitioning.  To make that argument measurable, this module provides a
+simple balanced partitioner in the METIS spirit: vertices are grown into
+``k`` regions of roughly equal edge count by greedy region growing
+(minimising cut edges), and each region becomes a graph transaction.  The
+ablation benchmark compares the pattern shapes and recall obtained with
+this partitioner against the paper's BFS / DFS strategies.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.graphs.labeled_graph import LabeledGraph, VertexId
+
+
+def multilevel_partition(
+    graph: LabeledGraph,
+    k: int,
+    seed: int | None = None,
+) -> list[LabeledGraph]:
+    """Partition *graph* into *k* balanced regions by greedy region growing.
+
+    Each vertex is assigned to exactly one region; a region's transaction
+    graph contains the edges whose two endpoints belong to it, so (unlike
+    Algorithm 2) cut edges are lost — the trade-off METIS-style
+    vertex partitioning makes.
+    """
+    if k < 1:
+        raise ValueError("the number of partitions k must be at least 1")
+    rng = random.Random(seed)
+    vertices = list(graph.vertices())
+    if not vertices:
+        return []
+    target_size = max(1, len(vertices) // k)
+
+    assignment: dict[VertexId, int] = {}
+    unassigned = set(vertices)
+    region = 0
+    while unassigned:
+        seed_vertex = rng.choice(sorted(unassigned, key=str))
+        frontier: deque[VertexId] = deque([seed_vertex])
+        region_size = 0
+        while frontier and region_size < target_size and unassigned:
+            vertex = frontier.popleft()
+            if vertex not in unassigned:
+                continue
+            assignment[vertex] = region
+            unassigned.discard(vertex)
+            region_size += 1
+            for neighbour in sorted(graph.neighbours(vertex), key=str):
+                if neighbour in unassigned:
+                    frontier.append(neighbour)
+        region = min(region + 1, k - 1) if region < k - 1 else k - 1
+
+    partitions: list[LabeledGraph] = []
+    for region_index in range(k):
+        members = [vertex for vertex, assigned in assignment.items() if assigned == region_index]
+        if not members:
+            continue
+        subgraph = graph.subgraph(members)
+        subgraph.name = f"{graph.name}-region{region_index}"
+        if subgraph.n_edges > 0:
+            partitions.append(subgraph)
+    return partitions
+
+
+def cut_edges(graph: LabeledGraph, partitions: list[LabeledGraph]) -> int:
+    """Number of edges of *graph* that ended up in no partition (cut by the split)."""
+    kept = 0
+    for partition in partitions:
+        kept += partition.n_edges
+    return graph.n_edges - kept

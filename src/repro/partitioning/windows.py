@@ -1,0 +1,126 @@
+"""Time-window temporal partitioning (a Section 9 challenge, implemented).
+
+The paper argues that "patterns that appear over a time window are more
+relevant than those appearing at one instant": a circular route that exists
+over the space of a week matters even though it is never fully connected on
+any single day.  Section 6's per-date partitioning cannot see such
+patterns, because each graph transaction contains only the OD pairs active
+on one date.
+
+This module generalises the temporal partitioning to sliding windows: one
+graph transaction per window of ``window_days`` consecutive dates (advanced
+by ``stride_days``), containing every OD pair active at any point inside
+the window.  A cycle completed over a week then appears inside a 7-day
+window transaction and can be mined by the same FSG machinery; mining
+windows of increasing length shows which patterns only exist "over time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+from typing import Sequence
+
+from repro.datasets.binning import BinningScheme, default_binning_scheme
+from repro.datasets.schema import TransactionDataset
+from repro.graphs.labeled_graph import LabeledGraph, LabeledMultiGraph
+
+
+@dataclass
+class WindowTransaction:
+    """One graph transaction covering a window of consecutive dates."""
+
+    window_start: date
+    window_end: date
+    graph: LabeledGraph
+
+    @property
+    def window_days(self) -> int:
+        """Number of dates covered by the window (inclusive)."""
+        return (self.window_end - self.window_start).days + 1
+
+    @property
+    def n_edges(self) -> int:
+        """Edges in the window graph."""
+        return self.graph.n_edges
+
+
+def partition_by_window(
+    dataset: TransactionDataset,
+    window_days: int = 7,
+    stride_days: int | None = None,
+    edge_attribute: str = "GROSS_WEIGHT",
+    binning: BinningScheme | None = None,
+    vertex_labeling: str = "location",
+) -> list[WindowTransaction]:
+    """One graph transaction per sliding window of dates.
+
+    Parameters
+    ----------
+    dataset:
+        The transaction dataset to partition.
+    window_days:
+        Window length in days; ``window_days=1`` reduces to the Section 6
+        per-date partitioning (with pickup-to-delivery activity).
+    stride_days:
+        How far consecutive windows are advanced; defaults to the window
+        length (non-overlapping windows).
+    edge_attribute / binning:
+        Edge labeling, as for the other graph builders.
+    vertex_labeling:
+        ``"location"`` (default, Section 6 semantics) or ``"uniform"``.
+    """
+    if window_days < 1:
+        raise ValueError("window_days must be at least 1")
+    stride = stride_days if stride_days is not None else window_days
+    if stride < 1:
+        raise ValueError("stride_days must be at least 1")
+    if vertex_labeling not in ("location", "uniform"):
+        raise ValueError("vertex_labeling must be 'location' or 'uniform'")
+    if len(dataset) == 0:
+        return []
+
+    scheme = binning or default_binning_scheme()
+    first_date, last_date = dataset.date_range()
+
+    windows: list[WindowTransaction] = []
+    window_start = first_date
+    while window_start <= last_date:
+        window_end = window_start + timedelta(days=window_days - 1)
+        graph = LabeledMultiGraph(name=f"window-{window_start.isoformat()}")
+        for transaction in dataset:
+            if transaction.req_delivery_dt < window_start or transaction.req_pickup_dt > window_end:
+                continue
+            for location in (transaction.origin, transaction.destination):
+                label = location.label() if vertex_labeling == "location" else "place"
+                graph.add_vertex(location, label)
+            graph.add_edge(
+                transaction.origin,
+                transaction.destination,
+                scheme.edge_label(transaction, edge_attribute),
+            )
+        simplified = graph.simplify()
+        if simplified.n_edges > 0:
+            windows.append(
+                WindowTransaction(window_start=window_start, window_end=window_end, graph=simplified)
+            )
+        window_start += timedelta(days=stride)
+    return windows
+
+
+def window_graphs(windows: Sequence[WindowTransaction]) -> list[LabeledGraph]:
+    """Extract the plain graphs (the form the FSG miner consumes)."""
+    return [window.graph for window in windows]
+
+
+def patterns_only_visible_over_windows(
+    single_day_patterns: int,
+    window_patterns: int,
+) -> int:
+    """How many additional frequent patterns a window view exposes.
+
+    A convenience used by the window-length ablation benchmark: the
+    difference between the pattern count mined from window transactions and
+    the count mined from per-date transactions of the same data.
+    """
+    return max(0, window_patterns - single_day_patterns)

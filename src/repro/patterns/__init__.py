@@ -1,0 +1,51 @@
+"""The pattern layer: single-graph pattern identity, catalogue, and recall.
+
+Section 4 of the paper defines when two subgraphs of a single graph
+support the same pattern; this package implements that definition and the
+machinery built on it:
+
+* :mod:`repro.patterns.pattern` — pattern identity and support of a
+  pattern within a single graph (non-overlapping occurrences);
+* :mod:`repro.patterns.catalog` — the named "good" transportation shapes
+  the paper discusses and helpers to instantiate them with labels;
+* :mod:`repro.patterns.matching` — classifying mined patterns against the
+  catalogue and summarising a mining result by shape;
+* :mod:`repro.patterns.planted` — simulated single graphs built by joining
+  subgraphs with known frequent patterns (footnote 2 of the paper);
+* :mod:`repro.patterns.recall` — recall/precision of a mining run against
+  the planted ground truth;
+* :mod:`repro.patterns.periodicity` and
+  :mod:`repro.patterns.graph_interestingness` — implementations of two of
+  the paper's Section 9 challenges: periodicity of repeated routes, and
+  interestingness measures / maximality filtering for graph patterns.
+"""
+
+from repro.patterns.pattern import Pattern, pattern_support, patterns_identical
+from repro.patterns.catalog import CatalogEntry, PATTERN_CATALOG, catalog_pattern
+from repro.patterns.matching import ShapeSummary, summarize_shapes
+from repro.patterns.planted import PlantedGraphSpec, PlantedPattern, build_planted_graph
+from repro.patterns.recall import RecallReport, measure_recall
+from repro.patterns.periodicity import PeriodicLane, detect_period, periodic_lanes
+from repro.patterns.graph_interestingness import PatternScore, maximal_patterns, score_patterns
+
+__all__ = [
+    "PeriodicLane",
+    "detect_period",
+    "periodic_lanes",
+    "PatternScore",
+    "maximal_patterns",
+    "score_patterns",
+    "Pattern",
+    "pattern_support",
+    "patterns_identical",
+    "CatalogEntry",
+    "PATTERN_CATALOG",
+    "catalog_pattern",
+    "ShapeSummary",
+    "summarize_shapes",
+    "PlantedGraphSpec",
+    "PlantedPattern",
+    "build_planted_graph",
+    "RecallReport",
+    "measure_recall",
+]

@@ -1,0 +1,100 @@
+"""The catalogue of named "good" transportation patterns.
+
+Section 1 and Section 5 of the paper name the shapes transportation
+experts already recognise as efficient or actionable: circular routes
+(cycles) that bring the truck home, hub-and-spoke distribution around a
+warehouse, long delivery chains mixing pickups and deliveries, the
+bow-tie shape that suggests a multi-modal (rail) opportunity, and the
+deadhead corridor (traffic one way with no return load) that SUBDUE
+surfaced in Figure 1.  This module exposes those shapes as a catalogue so
+examples, tests, and the planted-pattern experiments can instantiate them
+with arbitrary edge labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.motifs import MotifShape, bowtie, chain, cycle, hub_and_spoke
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """A named pattern family with a constructor and its expected shape."""
+
+    key: str
+    description: str
+    shape: MotifShape
+    build: Callable[..., LabeledGraph]
+
+
+def _deadhead(edge_label: object = 0, vertex_label: object = "place", prefix: str = "dh") -> LabeledGraph:
+    """A two-hop corridor with no return traffic (the Figure 1 observation)."""
+    graph = chain(2, vertex_label=vertex_label, edge_labels=[edge_label, edge_label], prefix=prefix)
+    graph.name = f"{prefix}-deadhead"
+    return graph
+
+
+def _default_hub_and_spoke(n_spokes: int = 3, **kwargs) -> LabeledGraph:
+    """Hub-and-spoke with a default spoke count (catalogue convenience)."""
+    return hub_and_spoke(n_spokes, **kwargs)
+
+
+def _default_chain(n_edges: int = 3, **kwargs) -> LabeledGraph:
+    """Chain with a default length (catalogue convenience)."""
+    return chain(n_edges, **kwargs)
+
+
+def _default_cycle(n_edges: int = 3, **kwargs) -> LabeledGraph:
+    """Cycle with a default length (catalogue convenience)."""
+    return cycle(n_edges, **kwargs)
+
+
+PATTERN_CATALOG: dict[str, CatalogEntry] = {
+    "hub_and_spoke": CatalogEntry(
+        key="hub_and_spoke",
+        description="A single origin delivering to many destinations (Figure 2 / Figure 4).",
+        shape=MotifShape.HUB_AND_SPOKE,
+        build=_default_hub_and_spoke,
+    ),
+    "chain": CatalogEntry(
+        key="chain",
+        description="A route making pickups and deliveries at successive stops (Figure 3).",
+        shape=MotifShape.CHAIN,
+        build=_default_chain,
+    ),
+    "cycle": CatalogEntry(
+        key="cycle",
+        description="A circular route that returns the truck to its starting point.",
+        shape=MotifShape.CYCLE,
+        build=_default_cycle,
+    ),
+    "bowtie": CatalogEntry(
+        key="bowtie",
+        description="Small loads converging, one large long-distance leg, then fanning out.",
+        shape=MotifShape.BOWTIE,
+        build=bowtie,
+    ),
+    "deadhead": CatalogEntry(
+        key="deadhead",
+        description="Significant traffic in one direction with little or no return traffic.",
+        shape=MotifShape.CHAIN,
+        build=_deadhead,
+    ),
+}
+
+
+def catalog_pattern(key: str, **kwargs) -> LabeledGraph:
+    """Instantiate a catalogue pattern by key, forwarding constructor arguments."""
+    if key not in PATTERN_CATALOG:
+        raise KeyError(
+            f"unknown catalogue pattern {key!r}; available: {sorted(PATTERN_CATALOG)}"
+        )
+    return PATTERN_CATALOG[key].build(**kwargs)
+
+
+def catalog_keys() -> Sequence[str]:
+    """The available catalogue keys."""
+    return tuple(PATTERN_CATALOG)

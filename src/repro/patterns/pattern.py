@@ -1,0 +1,93 @@
+"""Pattern identity and support within a single graph (Section 4).
+
+The paper formalises a pattern in a single graph ``G`` as a set ``P`` of
+distinct subgraphs of ``G`` that are pairwise *identical* — isomorphic
+with matching vertex and edge labels — with ``|P| >= s`` for a support
+threshold ``s``.  This module wraps a pattern graph with that identity
+notion and provides single-graph support counting based on
+non-overlapping embeddings (the paper's experiments disallow overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.canonical import graph_invariant
+from repro.graphs.isomorphism import (
+    are_isomorphic,
+    find_embeddings,
+    non_overlapping_embeddings,
+)
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.motifs import MotifShape, classify_shape
+
+
+def patterns_identical(first: LabeledGraph, second: LabeledGraph) -> bool:
+    """Section 4 identity: label-preserving isomorphism between two subgraphs."""
+    return are_isomorphic(first, second)
+
+
+@dataclass
+class Pattern:
+    """A labeled pattern graph with convenience accessors."""
+
+    graph: LabeledGraph
+    name: str = ""
+
+    @property
+    def n_vertices(self) -> int:
+        """Vertices in the pattern."""
+        return self.graph.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        """Edges in the pattern."""
+        return self.graph.n_edges
+
+    @property
+    def shape(self) -> MotifShape:
+        """The transportation motif shape of the pattern."""
+        return classify_shape(self.graph)
+
+    def invariant(self) -> str:
+        """Isomorphism-invariant fingerprint (used for grouping patterns)."""
+        return graph_invariant(self.graph)
+
+    def is_identical_to(self, other: "Pattern") -> bool:
+        """Section 4 identity between two patterns."""
+        return patterns_identical(self.graph, other.graph)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Pattern(name={self.name!r}, vertices={self.n_vertices}, "
+            f"edges={self.n_edges}, shape={self.shape.value})"
+        )
+
+
+def pattern_support(
+    pattern: LabeledGraph | Pattern,
+    graph: LabeledGraph,
+    allow_overlap: bool = False,
+) -> int:
+    """Number of occurrences of *pattern* within the single graph *graph*.
+
+    With ``allow_overlap=False`` (the default and the paper's setting)
+    occurrences are counted greedily so no graph vertex participates in
+    two occurrences; with ``allow_overlap=True`` every embedding counts.
+    """
+    pattern_graph = pattern.graph if isinstance(pattern, Pattern) else pattern
+    if allow_overlap:
+        return len(find_embeddings(pattern_graph, graph))
+    return len(non_overlapping_embeddings(pattern_graph, graph))
+
+
+def is_frequent_in_graph(
+    pattern: LabeledGraph | Pattern,
+    graph: LabeledGraph,
+    support_threshold: int,
+    allow_overlap: bool = False,
+) -> bool:
+    """Whether *pattern* meets the Section 4 support threshold in *graph*."""
+    if support_threshold < 1:
+        raise ValueError("support_threshold must be at least 1")
+    return pattern_support(pattern, graph, allow_overlap) >= support_threshold

@@ -1,0 +1,91 @@
+"""Recall of planted patterns after partitioning and mining (footnote 2).
+
+Given the ground truth of a planted graph and the frequent patterns
+returned by a mining run, this module measures which planted patterns
+were recovered.  A planted pattern counts as recovered when some mined
+pattern contains it (the mined pattern has an embedding of the planted
+one) or is exactly identical to it — partitioning often trims a planted
+pattern, so containment in either direction with a minimum size is also
+reported separately as *partial recall*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.graphs.isomorphism import are_isomorphic, has_embedding
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.mining.fsg.results import FrequentSubgraph
+from repro.patterns.planted import PlantedPattern
+
+
+@dataclass
+class RecallReport:
+    """Which planted patterns a mining run recovered."""
+
+    recovered: list[str] = field(default_factory=list)
+    partially_recovered: list[str] = field(default_factory=list)
+    missed: list[str] = field(default_factory=list)
+    n_mined_patterns: int = 0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of planted patterns recovered exactly or by containment."""
+        total = len(self.recovered) + len(self.partially_recovered) + len(self.missed)
+        if total == 0:
+            return 0.0
+        return len(self.recovered) / total
+
+    @property
+    def partial_recall(self) -> float:
+        """Fraction recovered at least partially (a large sub-piece was found)."""
+        total = len(self.recovered) + len(self.partially_recovered) + len(self.missed)
+        if total == 0:
+            return 0.0
+        return (len(self.recovered) + len(self.partially_recovered)) / total
+
+
+def _mined_graphs(mined: Sequence[FrequentSubgraph | LabeledGraph]) -> list[LabeledGraph]:
+    graphs: list[LabeledGraph] = []
+    for pattern in mined:
+        graphs.append(pattern.pattern if isinstance(pattern, FrequentSubgraph) else pattern)
+    return graphs
+
+
+def measure_recall(
+    ground_truth: Sequence[PlantedPattern],
+    mined: Sequence[FrequentSubgraph | LabeledGraph],
+    partial_fraction: float = 0.5,
+) -> RecallReport:
+    """Measure recall of *ground_truth* patterns among *mined* patterns.
+
+    A planted pattern is *recovered* when a mined pattern is identical to
+    it or contains it entirely; it is *partially recovered* when a mined
+    pattern matches a connected piece covering at least ``partial_fraction``
+    of its edges (approximated by edge-count comparison of mined patterns
+    embedded inside the planted pattern).
+    """
+    if not 0.0 < partial_fraction <= 1.0:
+        raise ValueError("partial_fraction must be in (0, 1]")
+    mined_graphs = _mined_graphs(mined)
+    report = RecallReport(n_mined_patterns=len(mined_graphs))
+    for planted in ground_truth:
+        target = planted.pattern
+        exact = any(
+            are_isomorphic(target, candidate) or has_embedding(target, candidate)
+            for candidate in mined_graphs
+        )
+        if exact:
+            report.recovered.append(planted.name)
+            continue
+        threshold_edges = max(1, int(round(partial_fraction * target.n_edges)))
+        partial = any(
+            candidate.n_edges >= threshold_edges and has_embedding(candidate, target)
+            for candidate in mined_graphs
+        )
+        if partial:
+            report.partially_recovered.append(planted.name)
+        else:
+            report.missed.append(planted.name)
+    return report

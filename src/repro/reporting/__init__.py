@@ -1,0 +1,25 @@
+"""Rendering of tables, figures, and paper-versus-measured comparisons.
+
+The paper's evaluation artifacts are tables of statistics and small
+pattern diagrams.  This package renders the reproduction's equivalents as
+plain text: Table 1-3 style tables, ASCII drawings of pattern graphs
+(Figures 1-4), cluster summaries (Figures 5-6), and the side-by-side
+comparison used by EXPERIMENTS.md and the benchmark harness.
+"""
+
+from repro.reporting.tables import (
+    render_dataset_description,
+    render_statistics_table,
+    render_temporal_summary,
+)
+from repro.reporting.figures import render_cluster_summaries, render_pattern
+from repro.reporting.comparison import render_comparison
+
+__all__ = [
+    "render_dataset_description",
+    "render_statistics_table",
+    "render_temporal_summary",
+    "render_cluster_summaries",
+    "render_pattern",
+    "render_comparison",
+]

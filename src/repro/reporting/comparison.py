@@ -1,0 +1,36 @@
+"""Paper-versus-measured comparison rendering."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.results import ExperimentReport
+
+
+def render_comparison(report: ExperimentReport) -> str:
+    """Render one experiment report as an aligned paper-vs-measured table."""
+    lines = [f"[{report.experiment_id}] {report.description}", "=" * 78]
+    lines.append(f"{'metric':44s}{'paper':>16s}{'measured':>16s}")
+    lines.append("-" * 78)
+    for metric, paper_value, measured_value in report.comparison_rows():
+        lines.append(f"{metric:44.44s}{str(paper_value):>16.16s}{str(measured_value):>16.16s}")
+    return "\n".join(lines)
+
+
+def render_comparisons(reports: Sequence[ExperimentReport]) -> str:
+    """Render several experiment reports separated by blank lines."""
+    return "\n\n".join(render_comparison(report) for report in reports)
+
+
+def agreement_summary(report: ExperimentReport) -> dict[str, bool]:
+    """Which boolean claims of the paper the measurement agrees with.
+
+    Only metrics whose paper value is a boolean are compared; numeric
+    metrics are reported side by side but not judged automatically, since
+    absolute numbers depend on the dataset scale.
+    """
+    agreement: dict[str, bool] = {}
+    for metric, paper_value, measured_value in report.comparison_rows():
+        if isinstance(paper_value, bool):
+            agreement[metric] = bool(measured_value) == paper_value
+    return agreement

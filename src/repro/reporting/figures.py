@@ -1,0 +1,76 @@
+"""Plain-text renderings of the paper's figures.
+
+The figures in the paper are small labeled pattern graphs (Figures 1-4)
+and per-cluster bar charts (Figures 5-6).  In a terminal-first library the
+equivalents are an adjacency-style listing of a pattern graph and an
+aligned table of cluster means; both renderers are deliberately simple and
+dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.motifs import classify_shape
+from repro.mining.em_clustering import ClusterSummary
+
+
+def render_pattern(graph: LabeledGraph, title: str = "") -> str:
+    """Render a pattern graph as an edge list with labels.
+
+    Vertices are numbered in a stable order; each line shows one edge as
+    ``source -[label]-> target`` so the hub-and-spoke / chain structure of
+    Figures 1-4 is visible at a glance, together with the detected shape.
+    """
+    ordering = {vertex: index for index, vertex in enumerate(sorted(graph.vertices(), key=str))}
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    shape = classify_shape(graph)
+    lines.append(
+        f"pattern: {graph.n_vertices} vertices, {graph.n_edges} edges, shape={shape.value}"
+    )
+    for vertex, index in ordering.items():
+        lines.append(f"  v{index}: label={graph.vertex_label(vertex)!r}")
+    for edge in sorted(graph.edges(), key=lambda e: (str(e.source), str(e.target))):
+        lines.append(
+            f"  v{ordering[edge.source]} -[{edge.label}]-> v{ordering[edge.target]}"
+        )
+    return "\n".join(lines)
+
+
+def render_cluster_summaries(
+    summaries: Sequence[ClusterSummary],
+    attributes: Sequence[str] = ("TOTAL_DISTANCE", "MOVE_TRANSIT_HOURS"),
+    title: str = "Clustering statistics",
+) -> str:
+    """Render per-cluster sizes and attribute means (Figures 5 and 6)."""
+    lines = [title, "-" * 72]
+    header = f"{'cluster':>8s} {'size':>8s}" + "".join(f" {attribute:>20s}" for attribute in attributes)
+    lines.append(header)
+    for summary in summaries:
+        row = f"{summary.index:>8d} {summary.size:>8d}"
+        for attribute in attributes:
+            value = summary.means.get(attribute, float("nan"))
+            row += f" {value:>20.1f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    values: dict[object, float],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """A simple horizontal ASCII bar chart (used for Figure 6 style plots)."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    maximum = max(abs(value) for value in values.values()) or 1.0
+    for key, value in values.items():
+        bar = "#" * max(0, int(round(width * abs(value) / maximum)))
+        lines.append(f"{str(key):>12s} | {bar} {value:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Plain-text renderings of the paper's tables."""
+
+from __future__ import annotations
+
+from repro.datasets.schema import ATTRIBUTE_DESCRIPTIONS, ATTRIBUTE_NAMES
+from repro.datasets.statistics import DatasetStatistics
+from repro.partitioning.temporal import TemporalPartitionSummary
+
+
+def _rule(width: int = 72) -> str:
+    return "-" * width
+
+
+def render_dataset_description() -> str:
+    """Render Table 1: the attribute names and descriptions of the dataset."""
+    lines = ["Table 1. Transportation Network Data Description", _rule()]
+    name_width = max(len(name) for name in ATTRIBUTE_NAMES) + 2
+    lines.append(f"{'Name':{name_width}s}Description")
+    lines.append(_rule())
+    for name in ATTRIBUTE_NAMES:
+        lines.append(f"{name:{name_width}s}{ATTRIBUTE_DESCRIPTIONS[name]}")
+    return "\n".join(lines)
+
+
+def render_statistics_table(statistics: DatasetStatistics, title: str = "Dataset statistics") -> str:
+    """Render the Section 3 headline statistics of a dataset."""
+    rows = [
+        ("Transactions", statistics.n_transactions),
+        ("Distinct locations (LL pairs)", statistics.n_locations),
+        ("Distinct origins", statistics.n_origins),
+        ("Distinct destinations", statistics.n_destinations),
+        ("Distinct OD pairs", statistics.n_od_pairs),
+        ("Out-degree (min/max/avg)",
+         f"{statistics.out_degree.minimum}/{statistics.out_degree.maximum}/{statistics.out_degree.average:.1f}"),
+        ("In-degree (min/max/avg)",
+         f"{statistics.in_degree.minimum}/{statistics.in_degree.maximum}/{statistics.in_degree.average:.1f}"),
+        ("Transactions per OD pair", f"{statistics.transactions_per_od_pair:.2f}"),
+        ("Date span (days)", statistics.date_span_days),
+    ]
+    lines = [title, _rule()]
+    for label, value in rows:
+        lines.append(f"{label:38s}{value}")
+    for mode, count in sorted(statistics.mode_counts.items()):
+        lines.append(f"{'Mode ' + mode:38s}{count}")
+    return "\n".join(lines)
+
+
+def render_temporal_summary(summary: TemporalPartitionSummary, title: str = "Temporally partitioned graph data") -> str:
+    """Render a Table 2 / Table 3 style summary of graph transactions."""
+    lines = [title, _rule()]
+    for label, value in summary.as_rows():
+        lines.append(f"{label:55s}{value}")
+    return "\n".join(lines)

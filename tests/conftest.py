@@ -1,0 +1,113 @@
+"""Shared fixtures for the test suite.
+
+Dataset-producing fixtures are session-scoped because generation, while
+fast, is used by many test modules; graph fixtures are tiny hand-built
+structures exercising exact, easily-verified behaviour.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.datasets.binning import default_binning_scheme
+from repro.datasets.generator import GeneratorConfig, TransportationDataGenerator
+from repro.datasets.schema import Location, TransMode, Transaction, TransactionDataset
+from repro.graphs.labeled_graph import LabeledGraph
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> TransactionDataset:
+    """A small (~2%) synthetic dataset shared across test modules."""
+    generator = TransportationDataGenerator(GeneratorConfig(scale=0.02, seed=7))
+    return generator.generate()
+
+
+@pytest.fixture(scope="session")
+def binning():
+    """The paper's default binning scheme (7 weight bins, 10 hour bins)."""
+    return default_binning_scheme()
+
+
+@pytest.fixture()
+def tiny_dataset() -> TransactionDataset:
+    """A hand-built four-transaction dataset with known values."""
+    chicago = Location(41.9, -87.6)
+    indianapolis = Location(39.8, -86.2)
+    atlanta = Location(33.7, -84.4)
+    dataset = TransactionDataset(name="tiny")
+    dataset.extend(
+        [
+            Transaction(
+                id=1,
+                req_pickup_dt=date(2004, 1, 5),
+                req_delivery_dt=date(2004, 1, 6),
+                origin=chicago,
+                destination=indianapolis,
+                total_distance=180.0,
+                gross_weight=4_500.0,
+                move_transit_hours=6.0,
+                trans_mode=TransMode.LESS_THAN_TRUCKLOAD,
+            ),
+            Transaction(
+                id=2,
+                req_pickup_dt=date(2004, 1, 5),
+                req_delivery_dt=date(2004, 1, 7),
+                origin=chicago,
+                destination=atlanta,
+                total_distance=720.0,
+                gross_weight=38_000.0,
+                move_transit_hours=18.0,
+                trans_mode=TransMode.TRUCKLOAD,
+            ),
+            Transaction(
+                id=3,
+                req_pickup_dt=date(2004, 1, 6),
+                req_delivery_dt=date(2004, 1, 8),
+                origin=indianapolis,
+                destination=atlanta,
+                total_distance=530.0,
+                gross_weight=12_000.0,
+                move_transit_hours=14.0,
+                trans_mode=TransMode.TRUCKLOAD,
+            ),
+            Transaction(
+                id=4,
+                req_pickup_dt=date(2004, 1, 12),
+                req_delivery_dt=date(2004, 1, 13),
+                origin=chicago,
+                destination=indianapolis,
+                total_distance=180.0,
+                gross_weight=5_100.0,
+                move_transit_hours=7.0,
+                trans_mode=TransMode.LESS_THAN_TRUCKLOAD,
+            ),
+        ]
+    )
+    return dataset
+
+
+@pytest.fixture()
+def triangle_graph() -> LabeledGraph:
+    """A labeled directed triangle a -> b -> c -> a."""
+    graph = LabeledGraph(name="triangle")
+    graph.add_vertex("a", "place")
+    graph.add_vertex("b", "place")
+    graph.add_vertex("c", "place")
+    graph.add_edge("a", "b", 1)
+    graph.add_edge("b", "c", 2)
+    graph.add_edge("c", "a", 3)
+    return graph
+
+
+@pytest.fixture()
+def star_graph() -> LabeledGraph:
+    """A hub with four outgoing edges sharing the same label."""
+    graph = LabeledGraph(name="star")
+    graph.add_vertex("hub", "place")
+    for index in range(4):
+        spoke = f"s{index}"
+        graph.add_vertex(spoke, "place")
+        graph.add_edge("hub", spoke, 0)
+    return graph

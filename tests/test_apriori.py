@@ -1,0 +1,117 @@
+"""Tests for the Apriori frequent-itemset and association-rule miner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.apriori import Apriori, AssociationRule, FrequentItemset
+
+MARKET_BASKETS = [
+    {"bread", "milk"},
+    {"bread", "diapers", "beer", "eggs"},
+    {"milk", "diapers", "beer", "cola"},
+    {"bread", "milk", "diapers", "beer"},
+    {"bread", "milk", "diapers", "cola"},
+]
+
+
+class TestParameters:
+    def test_invalid_support_rejected(self):
+        with pytest.raises(ValueError):
+            Apriori(min_support=0.0)
+        with pytest.raises(ValueError):
+            Apriori(min_support=1.5)
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            Apriori(min_confidence=0.0)
+
+    def test_empty_transactions_rejected(self):
+        with pytest.raises(ValueError):
+            Apriori().frequent_itemsets([])
+
+
+class TestFrequentItemsets:
+    def test_single_item_supports(self):
+        miner = Apriori(min_support=0.6)
+        itemsets = miner.frequent_itemsets(MARKET_BASKETS)
+        singles = {tuple(sorted(i.items))[0]: i.support_count for i in itemsets if len(i) == 1}
+        assert singles["bread"] == 4
+        assert singles["milk"] == 4
+        assert singles["diapers"] == 4
+        assert "eggs" not in singles
+
+    def test_pair_support(self):
+        miner = Apriori(min_support=0.6)
+        itemsets = miner.frequent_itemsets(MARKET_BASKETS)
+        pairs = {frozenset(i.items): i.support_count for i in itemsets if len(i) == 2}
+        assert pairs[frozenset({"milk", "diapers"})] == 3
+        assert pairs[frozenset({"bread", "diapers"})] == 3
+
+    def test_downward_closure(self):
+        miner = Apriori(min_support=0.4)
+        itemsets = miner.frequent_itemsets(MARKET_BASKETS)
+        supports = {frozenset(i.items): i.support_count for i in itemsets}
+        for itemset, count in supports.items():
+            for item in itemset:
+                if len(itemset) > 1:
+                    subset = itemset - {item}
+                    assert supports[frozenset(subset)] >= count
+
+    def test_max_itemset_size(self):
+        miner = Apriori(min_support=0.4, max_itemset_size=2)
+        itemsets = miner.frequent_itemsets(MARKET_BASKETS)
+        assert max(len(i) for i in itemsets) <= 2
+
+    def test_relative_support(self):
+        itemset = FrequentItemset(items=frozenset({"a"}), support_count=3)
+        assert itemset.relative_support(6) == pytest.approx(0.5)
+
+
+class TestRules:
+    def test_rule_confidence_and_support(self):
+        miner = Apriori(min_support=0.4, min_confidence=0.7)
+        rules = miner.rules(MARKET_BASKETS)
+        diapers_to_beer = [
+            r for r in rules if r.antecedent == frozenset({"diapers"}) and r.consequent == frozenset({"beer"})
+        ]
+        assert diapers_to_beer
+        rule = diapers_to_beer[0]
+        assert rule.confidence == pytest.approx(3 / 4)
+        assert rule.support == pytest.approx(3 / 5)
+
+    def test_low_confidence_rules_excluded(self):
+        miner = Apriori(min_support=0.4, min_confidence=0.99)
+        rules = miner.rules(MARKET_BASKETS)
+        assert all(rule.confidence >= 0.99 for rule in rules)
+
+    def test_rules_sorted_by_confidence(self):
+        miner = Apriori(min_support=0.4, min_confidence=0.5)
+        rules = miner.rules(MARKET_BASKETS)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_rules_require_itemsets_or_transactions(self):
+        miner = Apriori()
+        with pytest.raises(ValueError):
+            miner.rules()
+
+    def test_rule_lift_positive_association(self):
+        miner = Apriori(min_support=0.4, min_confidence=0.5)
+        rules = miner.rules(MARKET_BASKETS)
+        beer_rules = [r for r in rules if r.consequent == frozenset({"beer"}) and r.antecedent == frozenset({"diapers"})]
+        assert beer_rules[0].lift > 1.0
+
+    def test_rule_string_rendering(self):
+        rule = AssociationRule(
+            antecedent=frozenset({"A=1"}),
+            consequent=frozenset({"B=2"}),
+            support=0.5,
+            confidence=0.9,
+            lift=1.5,
+            leverage=0.1,
+            conviction=2.0,
+        )
+        assert "A=1 -> B=2" in str(rule)
+        assert rule.mentions("A=")
+        assert not rule.mentions("C=")

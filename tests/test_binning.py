@@ -1,0 +1,98 @@
+"""Unit tests for the edge-label binning strategy (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.binning import (
+    AttributeBinning,
+    Bin,
+    BinningScheme,
+    bin_values,
+    default_binning_scheme,
+)
+
+
+class TestBin:
+    def test_contains_is_half_open(self):
+        interval = Bin(index=0, lower=0.0, upper=10.0)
+        assert interval.contains(0.0)
+        assert interval.contains(9.999)
+        assert not interval.contains(10.0)
+
+    def test_interval_label(self):
+        assert Bin(index=0, lower=0.0, upper=6500.0).interval_label() == "[0, 6500]"
+
+
+class TestAttributeBinning:
+    def test_equal_width_bin_count(self):
+        binning = AttributeBinning.equal_width("GROSS_WEIGHT", 0.0, 700.0, 7)
+        assert binning.count == 7
+
+    def test_equal_width_requires_valid_range(self):
+        with pytest.raises(ValueError):
+            AttributeBinning.equal_width("X", 10.0, 10.0, 5)
+        with pytest.raises(ValueError):
+            AttributeBinning.equal_width("X", 0.0, 10.0, 0)
+
+    def test_values_beyond_nominal_max_fall_in_last_bin(self):
+        binning = AttributeBinning.equal_width("GROSS_WEIGHT", 0.0, 70.0, 7)
+        assert binning.index_for(69.0) == 6
+        assert binning.index_for(1_000_000.0) == 6
+
+    def test_values_below_minimum_clamp_to_first_bin(self):
+        binning = AttributeBinning.equal_width("GROSS_WEIGHT", 10.0, 80.0, 7)
+        assert binning.index_for(-5.0) == 0
+
+    def test_similar_values_share_a_bin(self):
+        # The paper's motivating example: 49-ton and 52-ton loads should be equal.
+        binning = AttributeBinning.equal_width("GROSS_WEIGHT", 0.0, 500.0, 7)
+        assert binning.index_for(49.0) == binning.index_for(52.0)
+
+    def test_from_edges_requires_sorted_unique(self):
+        with pytest.raises(ValueError):
+            AttributeBinning.from_edges("X", [0.0, 5.0, 5.0])
+        with pytest.raises(ValueError):
+            AttributeBinning.from_edges("X", [5.0, 0.0])
+
+    def test_bin_values_helper(self):
+        binning = AttributeBinning.equal_width("X", 0.0, 10.0, 2)
+        assert bin_values([1.0, 6.0, 9.0], binning) == [0, 1, 1]
+
+
+class TestBinningScheme:
+    def test_default_scheme_matches_paper_label_counts(self, binning):
+        counts = binning.label_counts()
+        assert counts["GROSS_WEIGHT"] == 7
+        assert counts["MOVE_TRANSIT_HOURS"] == 10
+
+    def test_unknown_attribute_raises(self, binning):
+        with pytest.raises(KeyError):
+            binning.binning_for("NOT_AN_ATTRIBUTE")
+
+    def test_edge_label_extracts_transaction_value(self, binning, tiny_dataset):
+        txn = tiny_dataset[0]
+        label = binning.edge_label(txn, "GROSS_WEIGHT")
+        assert label == binning.bin_index("GROSS_WEIGHT", txn.gross_weight)
+
+    def test_edge_interval_format(self, binning, tiny_dataset):
+        txn = tiny_dataset[0]
+        interval = binning.edge_interval(txn, "GROSS_WEIGHT")
+        assert interval.startswith("[") and "," in interval
+
+    def test_transaction_value_unknown_attribute(self, binning, tiny_dataset):
+        with pytest.raises(KeyError):
+            binning.transaction_value(tiny_dataset[0], "ORIGIN_LATITUDE")
+
+    def test_custom_granularity(self):
+        scheme = default_binning_scheme(weight_bins=3, hour_bins=4, distance_bins=5)
+        assert scheme.label_counts() == {
+            "GROSS_WEIGHT": 3,
+            "MOVE_TRANSIT_HOURS": 4,
+            "TOTAL_DISTANCE": 5,
+        }
+
+    def test_binning_scheme_registration(self):
+        scheme = BinningScheme()
+        scheme.add(AttributeBinning.equal_width("GROSS_WEIGHT", 0, 100, 4))
+        assert scheme.bin_index("GROSS_WEIGHT", 99.0) == 3

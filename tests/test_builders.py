@@ -1,0 +1,79 @@
+"""Tests for the OD graph builders (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.builders import (
+    EDGE_ATTRIBUTES,
+    UNIFORM_VERTEX_LABEL,
+    build_labeled_variants,
+    build_od_graph,
+    build_od_multigraph,
+)
+
+
+class TestMultigraphBuilder:
+    def test_one_parallel_edge_per_transaction(self, tiny_dataset, binning):
+        multigraph = build_od_multigraph(tiny_dataset, binning=binning)
+        assert multigraph.n_edges == len(tiny_dataset)
+        assert multigraph.n_simple_edges == len(tiny_dataset.od_pairs)
+
+    def test_vertices_are_locations(self, tiny_dataset, binning):
+        multigraph = build_od_multigraph(tiny_dataset, binning=binning)
+        assert multigraph.n_vertices == len(tiny_dataset.locations)
+
+    def test_uniform_vertex_labels(self, tiny_dataset, binning):
+        multigraph = build_od_multigraph(tiny_dataset, binning=binning, vertex_labeling="uniform")
+        labels = {multigraph.vertex_label(v) for v in multigraph.vertices()}
+        assert labels == {UNIFORM_VERTEX_LABEL}
+
+    def test_location_vertex_labels_are_unique_per_place(self, tiny_dataset, binning):
+        multigraph = build_od_multigraph(tiny_dataset, binning=binning, vertex_labeling="location")
+        labels = {multigraph.vertex_label(v) for v in multigraph.vertices()}
+        assert len(labels) == multigraph.n_vertices
+
+    def test_invalid_vertex_labeling_rejected(self, tiny_dataset, binning):
+        with pytest.raises(ValueError):
+            build_od_multigraph(tiny_dataset, binning=binning, vertex_labeling="bogus")
+
+    def test_interval_labels(self, tiny_dataset, binning):
+        multigraph = build_od_multigraph(tiny_dataset, binning=binning, use_interval_labels=True)
+        labels = {edge.label for edge in multigraph.edges()}
+        assert all(isinstance(label, str) and label.startswith("[") for label in labels)
+
+
+class TestSimpleGraphBuilder:
+    def test_parallel_edges_collapsed(self, tiny_dataset, binning):
+        graph = build_od_graph(tiny_dataset, binning=binning)
+        assert graph.n_edges == len(tiny_dataset.od_pairs)
+
+    def test_paper_graph_names_accepted(self, tiny_dataset, binning):
+        for name, attribute in EDGE_ATTRIBUTES.items():
+            by_name = build_od_graph(tiny_dataset, edge_attribute=name, binning=binning)
+            by_attribute = build_od_graph(tiny_dataset, edge_attribute=attribute, binning=binning)
+            assert by_name.n_edges == by_attribute.n_edges
+
+    def test_unknown_attribute_rejected(self, tiny_dataset, binning):
+        with pytest.raises(ValueError):
+            build_od_graph(tiny_dataset, edge_attribute="NOT_AN_ATTRIBUTE", binning=binning)
+
+    def test_edge_labels_come_from_binning(self, tiny_dataset, binning):
+        graph = build_od_graph(tiny_dataset, edge_attribute="GROSS_WEIGHT", binning=binning)
+        max_label = binning.label_counts()["GROSS_WEIGHT"] - 1
+        assert all(0 <= edge.label <= max_label for edge in graph.edges())
+
+    def test_different_attributes_can_give_different_labelings(self, small_dataset, binning):
+        weight_graph = build_od_graph(small_dataset, edge_attribute="OD_GW", binning=binning)
+        distance_graph = build_od_graph(small_dataset, edge_attribute="OD_TD", binning=binning)
+        weight_labels = [edge.label for edge in weight_graph.edges()]
+        distance_labels = [edge.label for edge in distance_graph.edges()]
+        assert weight_labels != distance_labels
+
+    def test_build_labeled_variants_share_structure(self, tiny_dataset, binning):
+        variants = build_labeled_variants(tiny_dataset, binning=binning)
+        assert set(variants) == {"OD_GW", "OD_TH", "OD_TD"}
+        edge_sets = [
+            {(e.source, e.target) for e in graph.edges()} for graph in variants.values()
+        ]
+        assert edge_sets[0] == edge_sets[1] == edge_sets[2]

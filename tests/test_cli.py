@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _EXPERIMENT_SUMMARIES, build_parser, main
+from repro.core.experiments import ALL_EXPERIMENTS
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiment_ids(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_scale_and_seed_options(self):
+        args = build_parser().parse_args(["run", "T1", "--scale", "0.02", "--seed", "5"])
+        assert args.scale == 0.02
+        assert args.seed == 5
+
+    def test_summaries_cover_every_experiment(self):
+        assert set(_EXPERIMENT_SUMMARIES) == set(ALL_EXPERIMENTS)
+
+
+class TestListCommand:
+    def test_list_prints_all_ids(self, capsys):
+        exit_code = main(["list"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for experiment_id in ALL_EXPERIMENTS:
+            assert experiment_id in captured.out
+
+
+class TestRunCommand:
+    def test_unknown_experiment_id_fails(self, capsys):
+        exit_code = main(["run", "NOT_AN_ID", "--scale", "0.012"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown experiment id" in captured.err
+
+    def test_run_single_fast_experiment(self, capsys):
+        exit_code = main(["run", "T1", "--scale", "0.012", "--seed", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[T1]" in captured.out
+        assert "measured" in captured.out
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "out" / "results.txt"
+        exit_code = main(["run", "T2", "--scale", "0.012", "--output", str(target)])
+        capsys.readouterr()
+        assert exit_code == 0
+        assert target.exists()
+        assert "[T2]" in target.read_text()
+
+    def test_run_multiple_experiments(self, capsys):
+        exit_code = main(["run", "T1", "T2", "--scale", "0.012"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[T1]" in captured.out and "[T2]" in captured.out

@@ -1,0 +1,97 @@
+"""Tests for connected components and graph truncation utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.components import (
+    connected_components,
+    induced_subgraph,
+    is_connected,
+    largest_component,
+    remove_orphan_vertices,
+    truncate_to_vertices,
+)
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.motifs import chain, hub_and_spoke
+
+
+def _two_component_graph() -> LabeledGraph:
+    graph = LabeledGraph(name="two")
+    graph.add_edge("a", "b", 1)
+    graph.add_edge("b", "c", 1)
+    graph.add_edge("x", "y", 2)
+    for vertex in graph.vertices():
+        graph.add_vertex(vertex, "place")
+    return graph
+
+
+class TestConnectedComponents:
+    def test_component_count(self):
+        components = connected_components(_two_component_graph())
+        assert len(components) == 2
+
+    def test_components_sorted_largest_first(self):
+        components = connected_components(_two_component_graph())
+        assert components[0].n_edges >= components[1].n_edges
+
+    def test_direction_ignored_for_connectivity(self):
+        graph = LabeledGraph()
+        graph.add_edge("a", "b", 1)
+        graph.add_edge("c", "b", 1)
+        assert len(connected_components(graph)) == 1
+
+    def test_largest_component(self):
+        largest = largest_component(_two_component_graph())
+        assert largest.n_edges == 2
+
+    def test_largest_component_of_empty_graph(self):
+        assert largest_component(LabeledGraph()).n_vertices == 0
+
+    def test_is_connected(self):
+        assert is_connected(chain(3))
+        assert not is_connected(_two_component_graph())
+        assert is_connected(LabeledGraph())
+
+
+class TestOrphanRemoval:
+    def test_removes_only_isolated_vertices(self):
+        graph = chain(2)
+        graph.add_vertex("isolated", "place")
+        removed = remove_orphan_vertices(graph)
+        assert removed == 1
+        assert not graph.has_vertex("isolated")
+        assert graph.n_vertices == 3
+
+    def test_no_orphans_is_a_no_op(self):
+        graph = chain(2)
+        assert remove_orphan_vertices(graph) == 0
+
+
+class TestTruncation:
+    def test_truncate_keeps_requested_vertex_count(self):
+        star = hub_and_spoke(6)
+        truncated = truncate_to_vertices(star, 3)
+        assert truncated.n_vertices == 3
+
+    def test_degree_order_keeps_hub(self):
+        star = hub_and_spoke(6)
+        truncated = truncate_to_vertices(star, 3, order="degree")
+        assert truncated.has_vertex("hs_hub")
+        assert truncated.n_edges == 2
+
+    def test_insertion_order(self):
+        star = hub_and_spoke(6)
+        truncated = truncate_to_vertices(star, 2, order="insertion")
+        assert truncated.has_vertex("hs_hub")
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            truncate_to_vertices(chain(2), 0)
+        with pytest.raises(ValueError):
+            truncate_to_vertices(chain(2), 2, order="random")
+
+    def test_induced_subgraph_alias(self):
+        graph = chain(3)
+        sub = induced_subgraph(graph, ["ch_0", "ch_1"])
+        assert sub.n_edges == 1

@@ -1,0 +1,131 @@
+"""Tests for the C4.5-style decision tree classifier."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mining.decision_tree import DecisionTreeClassifier, train_test_split
+
+
+def _weather_table():
+    """The classic play-tennis toy dataset (categorical attributes)."""
+    rows = [
+        ("sunny", "hot", "high", "weak", "no"),
+        ("sunny", "hot", "high", "strong", "no"),
+        ("overcast", "hot", "high", "weak", "yes"),
+        ("rain", "mild", "high", "weak", "yes"),
+        ("rain", "cool", "normal", "weak", "yes"),
+        ("rain", "cool", "normal", "strong", "no"),
+        ("overcast", "cool", "normal", "strong", "yes"),
+        ("sunny", "mild", "high", "weak", "no"),
+        ("sunny", "cool", "normal", "weak", "yes"),
+        ("rain", "mild", "normal", "weak", "yes"),
+        ("sunny", "mild", "normal", "strong", "yes"),
+        ("overcast", "mild", "high", "strong", "yes"),
+        ("overcast", "hot", "normal", "weak", "yes"),
+        ("rain", "mild", "high", "strong", "no"),
+    ]
+    return [
+        {"outlook": o, "temperature": t, "humidity": h, "wind": w, "play": p}
+        for o, t, h, w, p in rows
+    ]
+
+
+def _deterministic_table(n_rows: int = 60):
+    """A table where the class is fully determined by one attribute."""
+    rng = random.Random(3)
+    table = []
+    for _ in range(n_rows):
+        weight = rng.choice(["light", "heavy"])
+        noise = rng.choice(["a", "b", "c"])
+        table.append({"weight": weight, "noise": noise, "mode": "LTL" if weight == "light" else "TL"})
+    return table
+
+
+class TestTraining:
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit([], class_attribute="play")
+
+    def test_missing_class_attribute_rejected(self):
+        with pytest.raises(KeyError):
+            DecisionTreeClassifier().fit(_weather_table(), class_attribute="absent")
+
+    def test_root_split_is_most_informative_attribute(self):
+        tree = DecisionTreeClassifier(min_samples_leaf=1).fit(_weather_table(), class_attribute="play")
+        assert tree.root_attribute() == "outlook"
+
+    def test_perfect_training_accuracy_on_separable_data(self):
+        table = _deterministic_table()
+        tree = DecisionTreeClassifier().fit(table, class_attribute="mode")
+        assert tree.accuracy(table) == pytest.approx(1.0)
+        assert tree.root_attribute() == "weight"
+
+    def test_max_depth_limits_tree(self):
+        tree = DecisionTreeClassifier(max_depth=1, min_samples_leaf=1).fit(
+            _weather_table(), class_attribute="play"
+        )
+        assert tree.root is not None
+        assert tree.root.is_leaf
+
+    def test_min_samples_leaf_blocks_tiny_splits(self):
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(_weather_table(), class_attribute="play")
+        assert tree.root.is_leaf
+
+    def test_pure_node_becomes_leaf(self):
+        table = [{"x": "a", "y": "only"} for _ in range(5)]
+        tree = DecisionTreeClassifier().fit(table, class_attribute="y")
+        assert tree.root.is_leaf
+        assert tree.predict_row({"x": "a"}) == "only"
+
+
+class TestPrediction:
+    def test_predict_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict_row({"x": 1})
+
+    def test_unknown_attribute_value_falls_back_to_majority(self):
+        tree = DecisionTreeClassifier(min_samples_leaf=1).fit(_weather_table(), class_attribute="play")
+        prediction = tree.predict_row({"outlook": "tornado", "temperature": "hot", "humidity": "high", "wind": "weak"})
+        assert prediction in {"yes", "no"}
+
+    def test_predict_batch(self):
+        table = _deterministic_table()
+        tree = DecisionTreeClassifier().fit(table, class_attribute="mode")
+        predictions = tree.predict(table)
+        assert len(predictions) == len(table)
+
+    def test_accuracy_on_empty_table_rejected(self):
+        tree = DecisionTreeClassifier().fit(_deterministic_table(), class_attribute="mode")
+        with pytest.raises(ValueError):
+            tree.accuracy([])
+
+    def test_attribute_depths(self):
+        tree = DecisionTreeClassifier(min_samples_leaf=1).fit(_weather_table(), class_attribute="play")
+        depths = tree.attribute_depths()
+        assert depths["outlook"] == 1
+        assert all(depth >= 1 for depth in depths.values())
+
+    def test_tree_shape_helpers(self):
+        tree = DecisionTreeClassifier(min_samples_leaf=1).fit(_weather_table(), class_attribute="play")
+        assert tree.root.depth() >= 2
+        assert tree.root.n_leaves() >= 3
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self):
+        table = _deterministic_table(100)
+        train, test = train_test_split(table, test_fraction=0.25, seed=1)
+        assert len(train) == 75 and len(test) == 25
+
+    def test_split_reproducible(self):
+        table = _deterministic_table(50)
+        first = train_test_split(table, seed=2)
+        second = train_test_split(table, seed=2)
+        assert first == second
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(_deterministic_table(), test_fraction=1.5)

@@ -1,0 +1,88 @@
+"""Tests for the Weka-style discretiser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.discretize import AttributeDiscretization, Discretizer, interval_label
+
+
+class TestIntervalLabel:
+    def test_format(self):
+        assert interval_label(1.0, 2.5) == "(1-2.5]"
+
+    def test_infinite_bounds(self):
+        assert interval_label(float("-inf"), 5.0) == "(-inf-5]"
+        assert interval_label(5.0, float("inf")) == "(5-inf]"
+
+
+class TestAttributeDiscretization:
+    def test_label_for_respects_cut_points(self):
+        discretization = AttributeDiscretization(attribute="x", cut_points=[10.0, 20.0])
+        assert discretization.label_for(5.0) == "(-inf-10]"
+        assert discretization.label_for(15.0) == "(10-20]"
+        assert discretization.label_for(25.0) == "(20-inf]"
+        assert discretization.n_bins == 3
+
+
+class TestDiscretizer:
+    def _table(self):
+        return [
+            {"weight": float(value), "mode": "LTL" if value < 50 else "TL"}
+            for value in range(0, 100, 10)
+        ]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Discretizer(n_bins=1)
+        with pytest.raises(ValueError):
+            Discretizer(strategy="quantile")
+
+    def test_fit_requires_rows(self):
+        with pytest.raises(ValueError):
+            Discretizer().fit([])
+
+    def test_transform_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            Discretizer().transform(self._table())
+
+    def test_numeric_columns_become_interval_strings(self):
+        transformed = Discretizer(n_bins=3).fit_transform(self._table())
+        assert all(isinstance(row["weight"], str) for row in transformed)
+
+    def test_non_numeric_columns_untouched(self):
+        transformed = Discretizer(n_bins=3).fit_transform(self._table())
+        assert {row["mode"] for row in transformed} == {"LTL", "TL"}
+
+    def test_equal_width_bin_count(self):
+        discretizer = Discretizer(n_bins=4).fit(self._table())
+        assert discretizer.discretization_for("weight").n_bins == 4
+
+    def test_equal_frequency_balances_counts(self):
+        skewed = [{"x": float(v)} for v in list(range(90)) + [1_000.0] * 10]
+        discretizer = Discretizer(n_bins=4, strategy="equal_frequency")
+        transformed = discretizer.fit_transform(skewed)
+        from collections import Counter
+
+        counts = Counter(row["x"] for row in transformed)
+        # No single bin should hold almost everything (unlike equal width on
+        # this skewed data, where one bin would hold 90% of rows).
+        assert max(counts.values()) <= 50
+
+    def test_constant_column_gets_single_bin(self):
+        table = [{"x": 5.0} for _ in range(10)]
+        transformed = Discretizer(n_bins=4).fit_transform(table)
+        assert len({row["x"] for row in transformed}) == 1
+
+    def test_explicit_attribute_selection(self):
+        table = self._table()
+        discretizer = Discretizer(n_bins=3, attributes=["weight"])
+        transformed = discretizer.fit_transform(table)
+        assert isinstance(transformed[0]["weight"], str)
+
+    def test_same_value_maps_to_same_label_across_rows(self):
+        table = self._table()
+        discretizer = Discretizer(n_bins=5).fit(table)
+        first = discretizer.transform([{"weight": 42.0, "mode": "LTL"}])[0]["weight"]
+        second = discretizer.transform([{"weight": 42.0, "mode": "TL"}])[0]["weight"]
+        assert first == second

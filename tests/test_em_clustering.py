@@ -1,0 +1,100 @@
+"""Tests for the EM (Gaussian mixture) clustering implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mining.em_clustering import EMClustering, cross_validated_log_likelihood
+
+
+def _two_blob_data(n_per_blob: int = 60, seed: int = 5) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    blob_a = rng.normal(loc=[0.0, 0.0], scale=0.3, size=(n_per_blob, 2))
+    blob_b = rng.normal(loc=[5.0, 5.0], scale=0.3, size=(n_per_blob, 2))
+    return np.vstack([blob_a, blob_b])
+
+
+def _blobs_with_outliers(seed: int = 5) -> np.ndarray:
+    data = _two_blob_data(seed=seed)
+    outliers = np.array([[30.0, -20.0], [30.5, -20.5], [29.5, -19.5]])
+    return np.vstack([data, outliers])
+
+
+class TestFitValidation:
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            EMClustering(n_clusters=2).fit(np.empty((0, 2)))
+
+    def test_more_clusters_than_rows_rejected(self):
+        with pytest.raises(ValueError):
+            EMClustering(n_clusters=10).fit(np.ones((3, 2)))
+
+    def test_attribute_name_length_checked(self):
+        with pytest.raises(ValueError):
+            EMClustering(n_clusters=2).fit(_two_blob_data(), attribute_names=["only_one"])
+
+    def test_predict_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            EMClustering(n_clusters=2).predict(_two_blob_data())
+
+
+class TestClustering:
+    def test_separates_two_blobs(self):
+        data = _two_blob_data()
+        model = EMClustering(n_clusters=2, seed=3).fit(data)
+        labels = np.array(model.predict(data))
+        first_half = labels[:60]
+        second_half = labels[60:]
+        # Each blob should be (almost) entirely one cluster.
+        assert len(set(first_half)) == 1
+        assert len(set(second_half)) == 1
+        assert first_half[0] != second_half[0]
+
+    def test_outliers_get_their_own_small_cluster(self):
+        data = _blobs_with_outliers()
+        model = EMClustering(n_clusters=3, seed=3).fit(data, attribute_names=["x", "y"])
+        summaries = model.cluster_summaries(data)
+        sizes = sorted(summary.size for summary in summaries)
+        assert sizes[0] == 3
+        outlier_summary = min(summaries, key=lambda s: s.size)
+        assert outlier_summary.means["x"] == pytest.approx(30.0, abs=1.0)
+
+    def test_reproducible_with_same_seed(self):
+        data = _two_blob_data()
+        first = EMClustering(n_clusters=2, seed=9).fit(data).predict(data)
+        second = EMClustering(n_clusters=2, seed=9).fit(data).predict(data)
+        assert first == second
+
+    def test_log_likelihood_improves_over_single_cluster(self):
+        data = _two_blob_data()
+        single = EMClustering(n_clusters=1, seed=3).fit(data)
+        double = EMClustering(n_clusters=2, seed=3).fit(data)
+        assert double.log_likelihood(data) > single.log_likelihood(data)
+
+    def test_cluster_summary_statistics(self):
+        data = _two_blob_data()
+        model = EMClustering(n_clusters=2, seed=3).fit(data, attribute_names=["x", "y"])
+        summaries = model.cluster_summaries(data)
+        assert sum(summary.size for summary in summaries) == data.shape[0]
+        for summary in summaries:
+            assert set(summary.means) == {"x", "y"}
+            assert summary.mean_of("x") == summary.means["x"]
+
+    def test_constant_column_handled(self):
+        data = _two_blob_data()
+        data_with_constant = np.hstack([data, np.ones((data.shape[0], 1))])
+        model = EMClustering(n_clusters=2, seed=3).fit(data_with_constant)
+        assert len(set(model.predict(data_with_constant))) == 2
+
+
+class TestModelSelection:
+    def test_cross_validated_log_likelihood_prefers_true_k(self):
+        data = _two_blob_data(n_per_blob=45)
+        score_two = cross_validated_log_likelihood(data, n_clusters=2, folds=3, seed=1)
+        score_one = cross_validated_log_likelihood(data, n_clusters=1, folds=3, seed=1)
+        assert score_two > score_one
+
+    def test_cross_validation_requires_enough_rows(self):
+        with pytest.raises(ValueError):
+            cross_validated_log_likelihood(np.ones((5, 2)), n_clusters=3, folds=3)

@@ -1,0 +1,147 @@
+"""Tests for the level-wise frequent subgraph miner (FSG role)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.motifs import MotifShape, chain, cycle, hub_and_spoke
+from repro.mining.fsg.exceptions import MemoryBudgetExceeded
+from repro.mining.fsg.miner import FSGMiner, mine_frequent_subgraphs, timed_mine
+from repro.mining.fsg.results import FSGResult, FrequentSubgraph
+
+
+def _transactions_with_planted_star(n_with: int, n_without: int) -> list[LabeledGraph]:
+    """Transactions where a 2-spoke star with label 7 appears in *n_with* graphs."""
+    transactions = []
+    for index in range(n_with):
+        graph = hub_and_spoke(2, edge_labels=[7, 7], prefix=f"w{index}")
+        graph.add_edge(f"w{index}_s0", f"w{index}_s1", 9)
+        transactions.append(graph)
+    for index in range(n_without):
+        transactions.append(chain(2, edge_labels=[5, 6], prefix=f"o{index}"))
+    return transactions
+
+
+class TestSupportResolution:
+    def test_fractional_support(self):
+        transactions = _transactions_with_planted_star(4, 6)
+        result = mine_frequent_subgraphs(transactions, min_support=0.4, max_edges=1)
+        assert result.min_support == 4
+
+    def test_absolute_support(self):
+        transactions = _transactions_with_planted_star(4, 6)
+        result = mine_frequent_subgraphs(transactions, min_support=3, max_edges=1)
+        assert result.min_support == 3
+
+    def test_empty_transactions_rejected(self):
+        with pytest.raises(ValueError):
+            mine_frequent_subgraphs([], min_support=0.5)
+
+    def test_invalid_support_rejected(self):
+        with pytest.raises(ValueError):
+            mine_frequent_subgraphs([chain(1)], min_support=0)
+
+
+class TestMining:
+    def test_planted_star_is_found(self):
+        transactions = _transactions_with_planted_star(5, 5)
+        result = mine_frequent_subgraphs(transactions, min_support=5, max_edges=2)
+        star_patterns = [
+            p for p in result.patterns if p.n_edges == 2 and p.shape is MotifShape.HUB_AND_SPOKE
+        ]
+        assert star_patterns, "the planted 2-spoke star should be frequent"
+        assert star_patterns[0].support == 5
+
+    def test_infrequent_pattern_not_reported(self):
+        transactions = _transactions_with_planted_star(2, 8)
+        result = mine_frequent_subgraphs(transactions, min_support=5, max_edges=2)
+        assert all(p.support >= 5 for p in result.patterns)
+        assert not any(p.shape is MotifShape.HUB_AND_SPOKE for p in result.patterns)
+
+    def test_supporting_transactions_are_correct(self):
+        transactions = _transactions_with_planted_star(3, 3)
+        result = mine_frequent_subgraphs(transactions, min_support=3, max_edges=2)
+        star = next(p for p in result.patterns if p.shape is MotifShape.HUB_AND_SPOKE)
+        assert star.supporting_transactions == frozenset({0, 1, 2})
+
+    def test_max_edges_limits_pattern_size(self):
+        transactions = [cycle(4, edge_labels=[1, 1, 1, 1], prefix=f"c{i}") for i in range(3)]
+        result = mine_frequent_subgraphs(transactions, min_support=3, max_edges=2)
+        assert all(p.n_edges <= 2 for p in result.patterns)
+
+    def test_full_cycle_found_without_size_limit(self):
+        transactions = [cycle(3, edge_labels=[1, 1, 1], prefix=f"c{i}") for i in range(3)]
+        result = mine_frequent_subgraphs(transactions, min_support=3)
+        assert any(p.n_edges == 3 and p.shape is MotifShape.CYCLE for p in result.patterns)
+
+    def test_min_pattern_edges_filters_small_patterns(self):
+        transactions = _transactions_with_planted_star(4, 0)
+        miner = FSGMiner(min_support=4, max_edges=2, min_pattern_edges=2)
+        result = miner.mine(transactions)
+        assert all(p.n_edges >= 2 for p in result.patterns)
+
+    def test_patterns_count_once_per_transaction(self):
+        # A transaction with many embeddings of a pattern still counts once.
+        big_star = hub_and_spoke(5, edge_labels=[1] * 5)
+        small_star = hub_and_spoke(2, edge_labels=[1, 1], prefix="x")
+        result = mine_frequent_subgraphs([big_star, small_star], min_support=2, max_edges=1)
+        assert all(p.support <= 2 for p in result.patterns)
+
+    def test_timed_mine_returns_elapsed(self):
+        transactions = _transactions_with_planted_star(3, 3)
+        result, elapsed = timed_mine(transactions, min_support=3, max_edges=1)
+        assert isinstance(result, FSGResult)
+        assert elapsed >= 0.0
+
+
+class TestMemoryBudget:
+    def test_budget_exceeded_raises(self):
+        transactions = [hub_and_spoke(6, edge_labels=[1, 2, 3, 4, 5, 6], prefix=f"h{i}") for i in range(4)]
+        miner = FSGMiner(min_support=4, max_edges=3, memory_budget=5)
+        with pytest.raises(MemoryBudgetExceeded) as excinfo:
+            miner.mine(transactions)
+        assert excinfo.value.budget == 5
+        assert excinfo.value.candidates > 5
+
+    def test_budget_truncates_when_not_aborting(self):
+        transactions = [hub_and_spoke(6, edge_labels=[1, 2, 3, 4, 5, 6], prefix=f"h{i}") for i in range(4)]
+        miner = FSGMiner(min_support=4, max_edges=3, memory_budget=5, abort_on_budget=False)
+        result = miner.mine(transactions)
+        assert result.aborted
+        assert "memory budget" in result.abort_reason
+
+    def test_no_budget_allows_completion(self):
+        transactions = _transactions_with_planted_star(3, 0)
+        result = mine_frequent_subgraphs(transactions, min_support=3, max_edges=3)
+        assert not result.aborted
+
+
+class TestResultContainers:
+    def test_by_size_grouping(self):
+        transactions = _transactions_with_planted_star(4, 0)
+        result = mine_frequent_subgraphs(transactions, min_support=4, max_edges=2)
+        grouped = result.by_size()
+        assert set(grouped) <= {1, 2}
+        assert all(p.n_edges == size for size, patterns in grouped.items() for p in patterns)
+
+    def test_largest_and_top(self):
+        transactions = _transactions_with_planted_star(4, 0)
+        result = mine_frequent_subgraphs(transactions, min_support=4, max_edges=2)
+        largest = result.largest()
+        assert largest is not None and largest.n_edges == max(p.n_edges for p in result.patterns)
+        top = result.top(2)
+        assert len(top) == 2
+        assert top[0].support >= top[1].support
+
+    def test_relative_support(self):
+        pattern = FrequentSubgraph(pattern=chain(1), support=3, supporting_transactions=frozenset({0, 1, 2}))
+        assert pattern.relative_support(6) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            pattern.relative_support(0)
+
+    def test_shape_counts(self):
+        transactions = _transactions_with_planted_star(4, 0)
+        result = mine_frequent_subgraphs(transactions, min_support=4, max_edges=2)
+        counts = result.shape_counts()
+        assert sum(counts.values()) == len(result.patterns)

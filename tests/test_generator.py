@@ -1,0 +1,112 @@
+"""Tests for the calibrated synthetic dataset generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.generator import (
+    GeneratorConfig,
+    TransportationDataGenerator,
+    generate_dataset,
+)
+from repro.datasets.schema import TransMode
+from repro.datasets.statistics import compute_statistics
+
+
+class TestGeneratorConfig:
+    def test_scaled_preserves_minimums(self):
+        config = GeneratorConfig(scale=0.001).scaled()
+        assert config.n_transactions >= 200
+        assert config.n_hubs >= 3
+
+    def test_scaled_is_identity_at_full_scale(self):
+        config = GeneratorConfig(scale=1.0)
+        assert config.scaled() is config
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(scale=0.0).scaled()
+
+    def test_scaled_counts_roughly_proportional(self):
+        config = GeneratorConfig(scale=0.1).scaled()
+        assert config.n_transactions == pytest.approx(9_829, rel=0.01)
+        assert config.n_od_pairs == pytest.approx(2_090, rel=0.01)
+
+
+class TestGeneratedDataset:
+    def test_reproducible_for_same_seed(self):
+        first = generate_dataset(scale=0.01, seed=5)
+        second = generate_dataset(scale=0.01, seed=5)
+        assert [t.as_record() for t in first] == [t.as_record() for t in second]
+
+    def test_different_seeds_differ(self):
+        first = generate_dataset(scale=0.01, seed=5)
+        second = generate_dataset(scale=0.01, seed=6)
+        assert [t.as_record() for t in first] != [t.as_record() for t in second]
+
+    def test_transaction_count_close_to_target(self, small_dataset):
+        target = GeneratorConfig(scale=0.02).scaled().n_transactions
+        assert len(small_dataset) == pytest.approx(target, rel=0.02)
+
+    def test_od_pair_count_close_to_target(self, small_dataset):
+        target = GeneratorConfig(scale=0.02).scaled().n_od_pairs
+        assert len(small_dataset.od_pairs) == pytest.approx(target, rel=0.15)
+
+    def test_both_modes_present(self, small_dataset):
+        modes = {txn.trans_mode for txn in small_dataset}
+        assert modes == {TransMode.TRUCKLOAD, TransMode.LESS_THAN_TRUCKLOAD}
+
+    def test_degree_distribution_is_skewed(self, small_dataset):
+        stats = compute_statistics(small_dataset)
+        assert stats.out_degree.maximum > 5 * stats.out_degree.average
+        assert stats.out_degree.minimum >= 1
+
+    def test_mode_mostly_determined_by_weight(self, small_dataset):
+        threshold = GeneratorConfig().ltl_weight_threshold
+        consistent = sum(
+            1
+            for txn in small_dataset
+            if (txn.gross_weight < threshold)
+            == (txn.trans_mode is TransMode.LESS_THAN_TRUCKLOAD)
+        )
+        assert consistent / len(small_dataset) > 0.9
+
+    def test_air_freight_outliers_present(self, small_dataset):
+        outliers = [
+            txn
+            for txn in small_dataset
+            if txn.total_distance > 2_500 and txn.move_transit_hours < 24
+        ]
+        assert 1 <= len(outliers) <= 5
+
+    def test_dates_within_configured_window(self, small_dataset):
+        config = GeneratorConfig(scale=0.02).scaled()
+        start, end = small_dataset.date_range()
+        assert start >= config.start_date
+        assert (end - config.start_date).days <= config.n_days + 30
+
+    def test_transit_hours_at_least_drive_time_lower_bound(self, small_dataset):
+        # Quoted hours are max(drive time, service window) so they are never
+        # implausibly small for long hauls.
+        for txn in small_dataset:
+            if txn.total_distance > 1_500 and txn.move_transit_hours < 24:
+                # Only the air-freight outliers may do a long haul in under a day.
+                assert txn.total_distance > 2_500
+
+    def test_repeated_lanes_exist(self, small_dataset):
+        # Several deliveries between the same OD pair over the six months.
+        assert len(small_dataset) > len(small_dataset.od_pairs)
+
+
+class TestGeneratorInternals:
+    def test_hub_out_degrees_skewed_and_bounded(self):
+        generator = TransportationDataGenerator(GeneratorConfig(scale=0.02))
+        degrees = generator._hub_out_degrees(5, 100)
+        assert degrees[0] >= max(degrees[1:])
+        assert all(d <= 100 for d in degrees)
+
+    def test_poisson_small_lambda_nonnegative(self):
+        generator = TransportationDataGenerator(GeneratorConfig(scale=0.02))
+        samples = [generator._poisson(0.5) for _ in range(200)]
+        assert all(value >= 0 for value in samples)
+        assert sum(samples) / len(samples) < 2.0

@@ -1,0 +1,57 @@
+"""Unit tests for the geographic helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.geo import haversine_miles, road_miles, transit_hours_for_distance
+from repro.datasets.schema import Location
+
+CHICAGO = Location(41.9, -87.6)
+ATLANTA = Location(33.7, -84.4)
+HONOLULU = Location(21.3, -157.9)
+SEATTLE = Location(47.6, -122.3)
+
+
+class TestHaversine:
+    def test_zero_distance_for_identical_points(self):
+        assert haversine_miles(CHICAGO, CHICAGO) == pytest.approx(0.0)
+
+    def test_chicago_atlanta_roughly_correct(self):
+        # Great-circle distance Chicago-Atlanta is about 590 miles.
+        assert haversine_miles(CHICAGO, ATLANTA) == pytest.approx(590, rel=0.05)
+
+    def test_symmetry(self):
+        assert haversine_miles(CHICAGO, ATLANTA) == pytest.approx(
+            haversine_miles(ATLANTA, CHICAGO)
+        )
+
+    def test_transpacific_leg_is_long(self):
+        assert haversine_miles(SEATTLE, HONOLULU) > 2_500
+
+
+class TestRoadMiles:
+    def test_road_distance_exceeds_great_circle(self):
+        assert road_miles(CHICAGO, ATLANTA) > haversine_miles(CHICAGO, ATLANTA)
+
+    def test_circuity_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            road_miles(CHICAGO, ATLANTA, circuity_factor=0.9)
+
+    def test_custom_circuity_factor(self):
+        straight = haversine_miles(CHICAGO, ATLANTA)
+        assert road_miles(CHICAGO, ATLANTA, circuity_factor=1.5) == pytest.approx(straight * 1.5)
+
+
+class TestTransitHours:
+    def test_monotone_in_distance(self):
+        assert transit_hours_for_distance(1_000) > transit_hours_for_distance(100)
+
+    def test_includes_handling_time(self):
+        assert transit_hours_for_distance(0.0) == pytest.approx(2.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            transit_hours_for_distance(-1.0)
+        with pytest.raises(ValueError):
+            transit_hours_for_distance(100.0, average_speed_mph=0.0)

@@ -1,0 +1,122 @@
+"""Tests for graph-pattern interestingness and maximality filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.motifs import MotifShape, chain, hub_and_spoke
+from repro.mining.fsg.miner import mine_frequent_subgraphs
+from repro.mining.fsg.results import FrequentSubgraph
+from repro.patterns.graph_interestingness import (
+    expected_support,
+    maximal_patterns,
+    pattern_lift,
+    score_patterns,
+    triple_frequencies,
+)
+
+
+def _transactions():
+    """Ten transactions: a planted 2-spoke star (label 1) in five, label-2 noise in all."""
+    transactions = []
+    for index in range(10):
+        if index < 5:
+            graph = hub_and_spoke(2, edge_labels=[1, 1], prefix=f"s{index}")
+        else:
+            graph = chain(1, edge_labels=[3], prefix=f"c{index}")
+        graph.add_edge(f"noise_a{index}", f"noise_b{index}", 2)
+        graph.add_vertex(f"noise_a{index}", "place")
+        graph.add_vertex(f"noise_b{index}", "place")
+        transactions.append(graph)
+    return transactions
+
+
+class TestNullModel:
+    def test_triple_frequencies(self):
+        transactions = _transactions()
+        frequencies = triple_frequencies(transactions)
+        assert frequencies[("place", 1, "place")] == pytest.approx(0.5)
+        assert frequencies[("place", 2, "place")] == pytest.approx(1.0)
+
+    def test_triple_frequencies_empty_rejected(self):
+        with pytest.raises(ValueError):
+            triple_frequencies([])
+
+    def test_expected_support_multiplies_triples(self):
+        frequencies = {("place", 1, "place"): 0.5}
+        star = hub_and_spoke(2, edge_labels=[1, 1])
+        assert expected_support(star, frequencies) == pytest.approx(0.25)
+
+    def test_expected_support_unknown_triple_is_zero(self):
+        star = hub_and_spoke(2, edge_labels=[9, 9])
+        assert expected_support(star, {("place", 1, "place"): 0.5}) == 0.0
+
+
+class TestLift:
+    def _pattern(self, graph, support):
+        return FrequentSubgraph(
+            pattern=graph, support=support, supporting_transactions=frozenset(range(support))
+        )
+
+    def test_planted_pattern_has_high_lift(self):
+        transactions = _transactions()
+        frequencies = triple_frequencies(transactions)
+        star = self._pattern(hub_and_spoke(2, edge_labels=[1, 1]), support=5)
+        single = self._pattern(chain(1, edge_labels=[1]), support=5)
+        # The star's two edges always co-occur, so its lift (0.5 / 0.25 = 2)
+        # exceeds the single edge's lift of 1.
+        assert pattern_lift(star, 10, frequencies) == pytest.approx(2.0)
+        assert pattern_lift(star, 10, frequencies) > pattern_lift(single, 10, frequencies)
+
+    def test_lift_invalid_transaction_count(self):
+        star = self._pattern(hub_and_spoke(2), support=1)
+        with pytest.raises(ValueError):
+            pattern_lift(star, 0, {})
+
+    def test_lift_infinite_when_unexpected(self):
+        star = self._pattern(hub_and_spoke(2, edge_labels=[5, 5]), support=2)
+        assert pattern_lift(star, 10, {}) == float("inf")
+
+
+class TestScoring:
+    def test_scores_sorted_and_shapes_flagged(self):
+        transactions = _transactions()
+        result = mine_frequent_subgraphs(transactions, min_support=5, max_edges=2)
+        scores = score_patterns(result.patterns, transactions)
+        assert scores == sorted(scores, key=lambda s: s.combined, reverse=True)
+        star_scores = [s for s in scores if s.shape is MotifShape.HUB_AND_SPOKE]
+        assert star_scores and all(s.actionable_shape for s in star_scores)
+
+    def test_actionable_shape_outranks_equally_supported_single_edge(self):
+        transactions = _transactions()
+        result = mine_frequent_subgraphs(transactions, min_support=5, max_edges=2)
+        scores = score_patterns(result.patterns, transactions)
+        best = scores[0]
+        assert best.pattern.n_edges >= 2
+
+
+class TestMaximality:
+    def _pattern(self, graph, support=5):
+        return FrequentSubgraph(
+            pattern=graph, support=support, supporting_transactions=frozenset(range(support))
+        )
+
+    def test_contained_patterns_removed(self):
+        small = self._pattern(hub_and_spoke(2, edge_labels=[1, 1]))
+        large = self._pattern(hub_and_spoke(3, edge_labels=[1, 1, 1]))
+        kept = maximal_patterns([small, large])
+        assert kept == [large]
+
+    def test_incomparable_patterns_kept(self):
+        star = self._pattern(hub_and_spoke(2, edge_labels=[1, 1]))
+        path = self._pattern(chain(2, edge_labels=[2, 2]))
+        assert len(maximal_patterns([star, path])) == 2
+
+    def test_maximality_reduces_mined_output(self):
+        transactions = _transactions()
+        result = mine_frequent_subgraphs(transactions, min_support=5, max_edges=2)
+        maximal = maximal_patterns(result.patterns)
+        assert 0 < len(maximal) < len(result.patterns)
+
+    def test_empty_input(self):
+        assert maximal_patterns([]) == []

@@ -1,0 +1,68 @@
+"""Tests for association-rule interestingness measures."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.mining.interestingness import (
+    confidence,
+    conviction,
+    dependence,
+    leverage,
+    lift,
+    rule_metrics,
+)
+
+
+class TestConfidence:
+    def test_basic(self):
+        assert confidence(0.3, 0.5) == pytest.approx(0.6)
+
+    def test_zero_antecedent(self):
+        assert confidence(0.0, 0.0) == 0.0
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            confidence(1.2, 0.5)
+
+
+class TestLift:
+    def test_independent_items_have_unit_lift(self):
+        assert lift(0.25, 0.5, 0.5) == pytest.approx(1.0)
+
+    def test_positive_association(self):
+        assert lift(0.4, 0.5, 0.5) > 1.0
+
+    def test_zero_consequent(self):
+        assert lift(0.0, 0.5, 0.0) == 0.0
+
+
+class TestLeverageConvictionDependence:
+    def test_leverage_zero_under_independence(self):
+        assert leverage(0.25, 0.5, 0.5) == pytest.approx(0.0)
+
+    def test_conviction_infinite_for_exact_rule(self):
+        assert conviction(0.5, 0.5, 0.5) == math.inf
+
+    def test_conviction_finite_otherwise(self):
+        assert conviction(0.3, 0.5, 0.5) == pytest.approx((1 - 0.5) / (1 - 0.6))
+
+    def test_dependence_bounds(self):
+        value = dependence(0.4, 0.5, 0.5)
+        assert 0.0 <= value <= 1.0
+
+    def test_dependence_zero_when_degenerate(self):
+        assert dependence(0.5, 1.0, 0.5) == 0.0
+
+
+class TestRuleMetrics:
+    def test_all_metrics_present(self):
+        metrics = rule_metrics(0.3, 0.5, 0.4)
+        assert set(metrics) == {"support", "confidence", "lift", "leverage", "conviction", "dependence"}
+
+    def test_metrics_consistent(self):
+        metrics = rule_metrics(0.3, 0.5, 0.4)
+        assert metrics["confidence"] == pytest.approx(confidence(0.3, 0.5))
+        assert metrics["lift"] == pytest.approx(lift(0.3, 0.5, 0.4))

@@ -1,0 +1,126 @@
+"""Tests for label-preserving (sub)graph isomorphism (Section 4 semantics)."""
+
+from __future__ import annotations
+
+from repro.graphs.isomorphism import (
+    are_isomorphic,
+    count_embeddings,
+    find_embedding,
+    find_embeddings,
+    has_embedding,
+    non_overlapping_embeddings,
+)
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.motifs import chain, cycle, hub_and_spoke
+
+
+def _edge(source_label, edge_label, target_label) -> LabeledGraph:
+    graph = LabeledGraph()
+    graph.add_vertex("x", source_label)
+    graph.add_vertex("y", target_label)
+    graph.add_edge("x", "y", edge_label)
+    return graph
+
+
+class TestEmbeddings:
+    def test_single_edge_embeds_in_triangle(self, triangle_graph):
+        pattern = _edge("place", 1, "place")
+        assert has_embedding(pattern, triangle_graph)
+
+    def test_label_mismatch_blocks_embedding(self, triangle_graph):
+        pattern = _edge("place", 99, "place")
+        assert not has_embedding(pattern, triangle_graph)
+
+    def test_vertex_label_mismatch_blocks_embedding(self, triangle_graph):
+        pattern = _edge("warehouse", 1, "place")
+        assert not has_embedding(pattern, triangle_graph)
+
+    def test_direction_matters(self):
+        target = chain(2, edge_labels=[1, 1])
+        forward = _edge("place", 1, "place")
+        assert has_embedding(forward, target)
+        # A 2-cycle pattern cannot embed in a simple chain.
+        two_cycle = cycle(2, edge_labels=[1, 1])
+        assert not has_embedding(two_cycle, target)
+
+    def test_count_embeddings_in_star(self, star_graph):
+        pattern = _edge("place", 0, "place")
+        assert count_embeddings(pattern, star_graph) == 4
+
+    def test_embeddings_are_injective(self, star_graph):
+        pattern = hub_and_spoke(2)
+        embeddings = find_embeddings(pattern, star_graph)
+        for mapping in embeddings:
+            assert len(set(mapping.values())) == len(mapping)
+        # Choosing 2 ordered spokes out of 4: 4*3 = 12 embeddings.
+        assert len(embeddings) == 12
+
+    def test_max_count_limits_search(self, star_graph):
+        pattern = _edge("place", 0, "place")
+        assert len(find_embeddings(pattern, star_graph, max_count=2)) == 2
+
+    def test_pattern_larger_than_target_fails_fast(self, triangle_graph):
+        pattern = hub_and_spoke(5)
+        assert find_embeddings(pattern, triangle_graph) == []
+
+    def test_empty_pattern_has_trivial_embedding(self, triangle_graph):
+        assert find_embeddings(LabeledGraph(), triangle_graph) == [{}]
+
+    def test_find_embedding_returns_none_when_absent(self, triangle_graph):
+        assert find_embedding(hub_and_spoke(3), triangle_graph) is None
+
+    def test_non_induced_semantics(self):
+        # The pattern a->b, a->c embeds in a graph that also has b->c.
+        target = hub_and_spoke(2)
+        target.add_edge("hs_s0", "hs_s1", 0)
+        assert has_embedding(hub_and_spoke(2), target)
+
+
+class TestIsomorphism:
+    def test_isomorphic_relabeled_triangles(self, triangle_graph):
+        other = LabeledGraph()
+        other.add_vertex("x", "place")
+        other.add_vertex("y", "place")
+        other.add_vertex("z", "place")
+        other.add_edge("x", "y", 1)
+        other.add_edge("y", "z", 2)
+        other.add_edge("z", "x", 3)
+        assert are_isomorphic(triangle_graph, other)
+
+    def test_different_edge_labels_not_isomorphic(self, triangle_graph):
+        other = cycle(3, edge_labels=[1, 2, 4])
+        assert not are_isomorphic(triangle_graph, other)
+
+    def test_different_sizes_not_isomorphic(self):
+        assert not are_isomorphic(chain(2), chain(3))
+
+    def test_chain_not_isomorphic_to_star(self):
+        assert not are_isomorphic(chain(3), hub_and_spoke(3))
+
+    def test_self_isomorphism(self, star_graph):
+        assert are_isomorphic(star_graph, star_graph.copy())
+
+    def test_directionality_detected(self):
+        out_star = hub_and_spoke(2, inbound=False)
+        in_star = hub_and_spoke(2, inbound=True)
+        assert not are_isomorphic(out_star, in_star)
+
+
+class TestNonOverlappingEmbeddings:
+    def test_disjoint_occurrences_counted(self):
+        target = LabeledGraph()
+        for index in range(3):
+            target.add_edge(f"a{index}", f"b{index}", 5)
+        for vertex in target.vertices():
+            target.add_vertex(vertex, "")
+        pattern = _edge("", 5, "")
+        assert len(non_overlapping_embeddings(pattern, target)) == 3
+
+    def test_overlap_prevented(self, star_graph):
+        pattern = hub_and_spoke(2)
+        # All embeddings share the hub, so only one non-overlapping instance fits.
+        assert len(non_overlapping_embeddings(pattern, star_graph)) == 1
+
+    def test_max_count_respected(self, star_graph):
+        pattern = _edge("place", 0, "place")
+        assert len(non_overlapping_embeddings(pattern, star_graph, max_count=1)) == 1

@@ -1,0 +1,97 @@
+"""Tests for transportation motif constructors and shape classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.motifs import (
+    MotifShape,
+    bowtie,
+    chain,
+    classify_shape,
+    cycle,
+    hub_and_spoke,
+)
+
+
+class TestConstructors:
+    def test_hub_and_spoke_structure(self):
+        star = hub_and_spoke(5)
+        assert star.n_vertices == 6
+        assert star.n_edges == 5
+        assert star.out_degree("hs_hub") == 5
+
+    def test_hub_and_spoke_inbound(self):
+        star = hub_and_spoke(3, inbound=True)
+        assert star.in_degree("hs_hub") == 3
+
+    def test_hub_and_spoke_edge_labels(self):
+        star = hub_and_spoke(2, edge_labels=["a", "b"])
+        assert {edge.label for edge in star.edges()} == {"a", "b"}
+
+    def test_hub_requires_positive_spokes(self):
+        with pytest.raises(ValueError):
+            hub_and_spoke(0)
+
+    def test_chain_structure(self):
+        path = chain(4)
+        assert path.n_vertices == 5
+        assert path.n_edges == 4
+
+    def test_chain_label_count_must_match(self):
+        with pytest.raises(ValueError):
+            chain(3, edge_labels=[1, 2])
+
+    def test_cycle_structure(self):
+        loop = cycle(4)
+        assert loop.n_vertices == 4
+        assert loop.n_edges == 4
+        assert all(loop.out_degree(v) == 1 and loop.in_degree(v) == 1 for v in loop.vertices())
+
+    def test_cycle_requires_two_edges(self):
+        with pytest.raises(ValueError):
+            cycle(1)
+
+    def test_bowtie_structure(self):
+        tie = bowtie(2, 3)
+        assert tie.n_edges == 2 + 3 + 1
+        assert tie.has_edge("bt_L", "bt_R")
+
+    def test_bowtie_requires_leaves(self):
+        with pytest.raises(ValueError):
+            bowtie(0, 2)
+
+
+class TestClassifyShape:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: hub_and_spoke(3), MotifShape.HUB_AND_SPOKE),
+            (lambda: hub_and_spoke(4, inbound=True), MotifShape.HUB_AND_SPOKE),
+            (lambda: chain(3), MotifShape.CHAIN),
+            (lambda: cycle(3), MotifShape.CYCLE),
+            (lambda: bowtie(2, 2), MotifShape.BOWTIE),
+            (lambda: chain(1), MotifShape.SINGLE_EDGE),
+        ],
+    )
+    def test_known_shapes(self, builder, expected):
+        assert classify_shape(builder()) is expected
+
+    def test_empty_graph_is_other(self):
+        assert classify_shape(LabeledGraph()) is MotifShape.OTHER
+
+    def test_two_edge_chain_is_chain_not_hub(self):
+        assert classify_shape(chain(2)) is MotifShape.CHAIN
+
+    def test_mixed_structure_is_other(self):
+        graph = hub_and_spoke(3)
+        graph.add_edge("hs_s0", "hs_s1", 0)
+        assert classify_shape(graph) is MotifShape.OTHER
+
+    def test_labels_do_not_affect_shape(self):
+        labelled = hub_and_spoke(3, edge_labels=[5, 6, 7], vertex_label="depot")
+        assert classify_shape(labelled) is MotifShape.HUB_AND_SPOKE
+
+    def test_two_cycle_detected(self):
+        assert classify_shape(cycle(2)) is MotifShape.CYCLE

@@ -1,0 +1,73 @@
+"""Tests for the METIS-like balanced partitioner (ablation baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.motifs import hub_and_spoke
+from repro.partitioning.multilevel import cut_edges, multilevel_partition
+
+
+def _connected_graph() -> LabeledGraph:
+    graph = LabeledGraph(name="ring-of-stars")
+    hubs = []
+    for index in range(4):
+        hub = f"hub{index}"
+        graph.add_vertex(hub, "place")
+        hubs.append(hub)
+        for spoke in range(3):
+            leaf = f"leaf{index}_{spoke}"
+            graph.add_vertex(leaf, "place")
+            graph.add_edge(hub, leaf, 1)
+    for first, second in zip(hubs, hubs[1:] + hubs[:1]):
+        graph.add_edge(first, second, 2)
+    return graph
+
+
+class TestMultilevelPartition:
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            multilevel_partition(_connected_graph(), 0)
+
+    def test_empty_graph(self):
+        assert multilevel_partition(LabeledGraph(), 3) == []
+
+    def test_each_vertex_in_at_most_one_partition(self):
+        graph = _connected_graph()
+        partitions = multilevel_partition(graph, 3, seed=1)
+        seen = []
+        for partition in partitions:
+            seen.extend(partition.vertices())
+        assert len(seen) == len(set(seen))
+
+    def test_partition_count_bounded_by_k(self):
+        graph = _connected_graph()
+        partitions = multilevel_partition(graph, 3, seed=1)
+        assert 1 <= len(partitions) <= 3
+
+    def test_cut_edges_are_lost(self):
+        graph = _connected_graph()
+        partitions = multilevel_partition(graph, 4, seed=1)
+        lost = cut_edges(graph, partitions)
+        kept = sum(p.n_edges for p in partitions)
+        assert lost + kept == graph.n_edges
+        assert lost >= 0
+
+    def test_single_partition_keeps_everything(self):
+        graph = _connected_graph()
+        partitions = multilevel_partition(graph, 1, seed=1)
+        assert cut_edges(graph, partitions) == 0
+
+    def test_reproducible_with_seed(self):
+        graph = _connected_graph()
+        first = multilevel_partition(graph, 3, seed=7)
+        second = multilevel_partition(graph, 3, seed=7)
+        assert [sorted(map(str, p.vertices())) for p in first] == [
+            sorted(map(str, p.vertices())) for p in second
+        ]
+
+    def test_star_partitions_keep_local_structure(self):
+        star = hub_and_spoke(6)
+        partitions = multilevel_partition(star, 1, seed=2)
+        assert partitions[0].n_edges == 6

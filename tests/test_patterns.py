@@ -1,0 +1,137 @@
+"""Tests for the pattern layer: identity, catalogue, and shape summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.motifs import MotifShape, chain, hub_and_spoke
+from repro.mining.fsg.results import FrequentSubgraph
+from repro.patterns.catalog import PATTERN_CATALOG, catalog_keys, catalog_pattern
+from repro.patterns.matching import ShapeSummary, patterns_with_shape, summarize_shapes
+from repro.patterns.pattern import (
+    Pattern,
+    is_frequent_in_graph,
+    pattern_support,
+    patterns_identical,
+)
+
+
+class TestPatternIdentity:
+    def test_identical_patterns(self):
+        assert patterns_identical(hub_and_spoke(2, prefix="a"), hub_and_spoke(2, prefix="b"))
+
+    def test_different_patterns(self):
+        assert not patterns_identical(hub_and_spoke(2), chain(2))
+
+    def test_pattern_wrapper_properties(self):
+        pattern = Pattern(graph=hub_and_spoke(3), name="star")
+        assert pattern.n_edges == 3
+        assert pattern.n_vertices == 4
+        assert pattern.shape is MotifShape.HUB_AND_SPOKE
+        assert pattern.is_identical_to(Pattern(graph=hub_and_spoke(3, prefix="z")))
+        assert pattern.invariant()
+
+
+class TestPatternSupport:
+    def _host_with_two_disjoint_stars(self) -> LabeledGraph:
+        host = LabeledGraph()
+        for copy in range(2):
+            hub = f"h{copy}"
+            host.add_vertex(hub, "place")
+            for spoke in range(2):
+                leaf = f"l{copy}_{spoke}"
+                host.add_vertex(leaf, "place")
+                host.add_edge(hub, leaf, 1)
+        return host
+
+    def test_non_overlapping_support(self):
+        host = self._host_with_two_disjoint_stars()
+        star = hub_and_spoke(2, edge_labels=[1, 1])
+        assert pattern_support(star, host) == 2
+
+    def test_overlapping_support_counts_embeddings(self):
+        host = self._host_with_two_disjoint_stars()
+        star = hub_and_spoke(2, edge_labels=[1, 1])
+        # Each star supports 2 ordered embeddings (spokes swapped).
+        assert pattern_support(star, host, allow_overlap=True) == 4
+
+    def test_pattern_object_accepted(self):
+        host = self._host_with_two_disjoint_stars()
+        pattern = Pattern(graph=hub_and_spoke(2, edge_labels=[1, 1]))
+        assert pattern_support(pattern, host) == 2
+
+    def test_is_frequent_in_graph(self):
+        host = self._host_with_two_disjoint_stars()
+        star = hub_and_spoke(2, edge_labels=[1, 1])
+        assert is_frequent_in_graph(star, host, support_threshold=2)
+        assert not is_frequent_in_graph(star, host, support_threshold=3)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            is_frequent_in_graph(chain(1), LabeledGraph(), support_threshold=0)
+
+
+class TestCatalog:
+    def test_all_entries_build_their_declared_shape(self):
+        from repro.graphs.motifs import classify_shape
+
+        for key, entry in PATTERN_CATALOG.items():
+            graph = catalog_pattern(key)
+            assert classify_shape(graph) is entry.shape, key
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            catalog_pattern("triangle-of-doom")
+
+    def test_catalog_keys(self):
+        assert set(catalog_keys()) == set(PATTERN_CATALOG)
+
+    def test_constructor_arguments_forwarded(self):
+        star = catalog_pattern("hub_and_spoke", n_spokes=5)
+        assert star.n_edges == 5
+
+
+class TestShapeSummary:
+    def _frequent(self, graph, support=3):
+        return FrequentSubgraph(pattern=graph, support=support, supporting_transactions=frozenset(range(support)))
+
+    def test_summary_counts(self):
+        patterns = [
+            self._frequent(hub_and_spoke(2)),
+            self._frequent(hub_and_spoke(3)),
+            self._frequent(chain(2)),
+            self._frequent(chain(1)),
+        ]
+        summary = summarize_shapes(patterns)
+        assert summary.total == 4
+        assert summary.count(MotifShape.HUB_AND_SPOKE) == 2
+        assert summary.count(MotifShape.CHAIN) == 1
+        assert summary.count(MotifShape.SINGLE_EDGE) == 1
+        assert summary.fraction(MotifShape.HUB_AND_SPOKE) == pytest.approx(0.5)
+
+    def test_dominant_shape_ignores_single_edges(self):
+        patterns = [self._frequent(chain(1)) for _ in range(5)] + [self._frequent(hub_and_spoke(2))]
+        summary = summarize_shapes(patterns)
+        assert summary.dominant_shape() is MotifShape.HUB_AND_SPOKE
+        assert summary.dominant_shape(ignore_single_edges=False) is MotifShape.SINGLE_EDGE
+
+    def test_empty_summary(self):
+        summary = summarize_shapes([])
+        assert summary.total == 0
+        assert summary.dominant_shape() is None
+        assert summary.fraction(MotifShape.CHAIN) == 0.0
+
+    def test_multi_edge_count(self):
+        patterns = [self._frequent(chain(1)), self._frequent(chain(2))]
+        assert summarize_shapes(patterns).multi_edge_count() == 1
+
+    def test_patterns_with_shape_filter(self):
+        patterns = [self._frequent(hub_and_spoke(3)), self._frequent(chain(3))]
+        stars = patterns_with_shape(patterns, MotifShape.HUB_AND_SPOKE)
+        assert len(stars) == 1
+        assert stars[0].shape is MotifShape.HUB_AND_SPOKE
+
+    def test_plain_graphs_accepted(self):
+        summary = summarize_shapes([hub_and_spoke(2), chain(2)])
+        assert summary.total == 2

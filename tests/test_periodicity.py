@@ -1,0 +1,117 @@
+"""Tests for periodic-route detection (Section 9 challenge implementation)."""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+
+import pytest
+
+from repro.datasets.schema import Location, TransMode, Transaction, TransactionDataset
+from repro.patterns.periodicity import (
+    detect_period,
+    lane_activity,
+    period_histogram,
+    period_score,
+    periodic_lanes,
+)
+
+
+def _lane_dataset(pickup_days: list[int], start: date = date(2004, 1, 5)) -> TransactionDataset:
+    """A dataset with one lane picked up on the given day offsets."""
+    origin = Location(41.9, -87.6)
+    destination = Location(39.8, -86.2)
+    dataset = TransactionDataset(name="periodic")
+    for index, offset in enumerate(pickup_days):
+        pickup = start + timedelta(days=offset)
+        dataset.add(
+            Transaction(
+                id=index + 1,
+                req_pickup_dt=pickup,
+                req_delivery_dt=pickup + timedelta(days=1),
+                origin=origin,
+                destination=destination,
+                total_distance=180.0,
+                gross_weight=20_000.0,
+                move_transit_hours=30.0,
+                trans_mode=TransMode.TRUCKLOAD,
+            )
+        )
+    return dataset
+
+
+class TestPeriodScore:
+    def test_perfect_weekly_gaps(self):
+        assert period_score([7, 7, 7, 7], 7) == pytest.approx(1.0)
+
+    def test_tolerant_to_one_day_jitter(self):
+        assert period_score([7, 6, 8, 7], 7, tolerance=1) == pytest.approx(1.0)
+
+    def test_skipped_run_still_explained(self):
+        # A 14-day gap is a multiple of 7, so a skipped week does not hurt.
+        assert period_score([7, 14, 7], 7) == pytest.approx(1.0)
+
+    def test_irregular_gaps_score_low(self):
+        assert period_score([3, 11, 5, 19], 7, tolerance=0) < 0.5
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            period_score([7], 0)
+
+    def test_empty_gaps(self):
+        assert period_score([], 7) == 0.0
+
+
+class TestDetectPeriod:
+    def test_weekly_lane_detected(self):
+        detected = detect_period([date(2004, 1, 5) + timedelta(days=7 * i) for i in range(8)])
+        assert detected is not None
+        period, regularity = detected
+        assert period == 7
+        assert regularity == pytest.approx(1.0)
+
+    def test_every_other_day_lane_detected(self):
+        detected = detect_period([date(2004, 1, 5) + timedelta(days=2 * i) for i in range(10)])
+        assert detected is not None
+        assert detected[0] == 2
+
+    def test_too_few_occurrences(self):
+        assert detect_period([date(2004, 1, 5), date(2004, 1, 12)]) is None
+
+    def test_irregular_history_returns_none(self):
+        dates = [date(2004, 1, 5) + timedelta(days=offset) for offset in (0, 3, 17, 22, 40, 41)]
+        assert detect_period(dates, min_regularity=0.8, tolerance=0) is None
+
+    def test_prefers_smaller_period_on_tie(self):
+        # Perfectly weekly data is also perfectly bi-weekly; 7 must win.
+        dates = [date(2004, 1, 5) + timedelta(days=7 * i) for i in range(10)]
+        assert detect_period(dates)[0] == 7
+
+
+class TestPeriodicLanes:
+    def test_weekly_lane_reported(self):
+        dataset = _lane_dataset([7 * i for i in range(8)])
+        lanes = periodic_lanes(dataset)
+        assert len(lanes) == 1
+        assert lanes[0].period_days == 7
+        assert lanes[0].occurrences == 8
+
+    def test_sporadic_lane_not_reported(self):
+        dataset = _lane_dataset([0, 5, 23, 24, 61])
+        assert periodic_lanes(dataset, min_regularity=0.9) == []
+
+    def test_lane_activity_sorted(self):
+        dataset = _lane_dataset([14, 0, 7])
+        activity = lane_activity(dataset)
+        dates = next(iter(activity.values()))
+        assert dates == sorted(dates)
+
+    def test_generated_dataset_contains_periodic_lanes(self, small_dataset):
+        lanes = periodic_lanes(small_dataset, min_occurrences=6, min_regularity=0.7)
+        assert lanes, "the generator plants weekly and every-other-day distribution runs"
+        histogram = period_histogram(lanes)
+        assert any(period in histogram for period in (2, 7))
+
+    def test_period_histogram(self):
+        dataset = _lane_dataset([7 * i for i in range(8)])
+        histogram = period_histogram(periodic_lanes(dataset))
+        assert histogram == {7: 1}

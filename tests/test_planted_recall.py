@@ -1,0 +1,110 @@
+"""Tests for planted-pattern graphs and recall measurement (footnote 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.motifs import chain, cycle, hub_and_spoke
+from repro.mining.fsg.results import FrequentSubgraph
+from repro.patterns.planted import PlantedGraphSpec, PlantedPattern, build_planted_graph
+from repro.patterns.recall import measure_recall
+
+
+class TestPlantedGraph:
+    def _spec(self, copies: int = 3) -> PlantedGraphSpec:
+        spec = PlantedGraphSpec(background_edges=5, seed=1)
+        spec.add("star", hub_and_spoke(2, edge_labels=[1, 1]), copies=copies)
+        spec.add("path", chain(3, edge_labels=[2, 2, 2]), copies=copies)
+        return spec
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            build_planted_graph(PlantedGraphSpec())
+
+    def test_invalid_copy_count_rejected(self):
+        with pytest.raises(ValueError):
+            PlantedPattern(name="x", pattern=chain(1), copies=0)
+
+    def test_all_copies_present(self):
+        planted = build_planted_graph(self._spec(copies=3))
+        expected_pattern_edges = 3 * 2 + 3 * 3
+        assert planted.graph.n_edges >= expected_pattern_edges
+        assert planted.total_planted_copies == 6
+
+    def test_background_edges_use_dedicated_label(self):
+        planted = build_planted_graph(self._spec())
+        labels = {e.label for e in planted.graph.edges()}
+        assert "bg" in labels
+
+    def test_planted_patterns_actually_occur(self):
+        from repro.patterns.pattern import pattern_support
+
+        planted = build_planted_graph(self._spec(copies=3))
+        for ground_truth in planted.ground_truth:
+            assert pattern_support(ground_truth.pattern, planted.graph) >= ground_truth.copies
+
+    def test_reproducible(self):
+        first = build_planted_graph(self._spec())
+        second = build_planted_graph(self._spec())
+        assert first.graph.n_edges == second.graph.n_edges
+
+    def test_fluent_add_returns_spec(self):
+        spec = PlantedGraphSpec()
+        assert spec.add("a", chain(1), 1) is spec
+
+
+class TestRecall:
+    def _ground_truth(self):
+        return [
+            PlantedPattern(name="star", pattern=hub_and_spoke(2, edge_labels=[1, 1]), copies=3),
+            PlantedPattern(name="loop", pattern=cycle(3, edge_labels=[3, 3, 3]), copies=3),
+        ]
+
+    def _mined(self, graphs):
+        return [
+            FrequentSubgraph(pattern=graph, support=3, supporting_transactions=frozenset({0, 1, 2}))
+            for graph in graphs
+        ]
+
+    def test_full_recall(self):
+        mined = self._mined([hub_and_spoke(2, edge_labels=[1, 1]), cycle(3, edge_labels=[3, 3, 3])])
+        report = measure_recall(self._ground_truth(), mined)
+        assert report.recall == pytest.approx(1.0)
+        assert report.missed == []
+
+    def test_zero_recall(self):
+        mined = self._mined([chain(2, edge_labels=[9, 9])])
+        report = measure_recall(self._ground_truth(), mined)
+        assert report.recall == 0.0
+        assert set(report.missed) == {"star", "loop"}
+
+    def test_partial_recall(self):
+        # A 2-edge piece of the 3-edge cycle counts as partial recovery.
+        mined = self._mined([chain(2, edge_labels=[3, 3])])
+        report = measure_recall(self._ground_truth(), mined, partial_fraction=0.5)
+        assert "loop" in report.partially_recovered
+        assert report.partial_recall > report.recall
+
+    def test_containing_pattern_counts_as_recovered(self):
+        bigger = hub_and_spoke(3, edge_labels=[1, 1, 1])
+        report = measure_recall(
+            [PlantedPattern(name="star", pattern=hub_and_spoke(2, edge_labels=[1, 1]), copies=2)],
+            self._mined([bigger]),
+        )
+        assert report.recovered == ["star"]
+
+    def test_invalid_partial_fraction(self):
+        with pytest.raises(ValueError):
+            measure_recall(self._ground_truth(), [], partial_fraction=0.0)
+
+    def test_empty_ground_truth(self):
+        report = measure_recall([], self._mined([chain(1)]))
+        assert report.recall == 0.0
+        assert report.n_mined_patterns == 1
+
+    def test_plain_graphs_accepted_as_mined(self):
+        report = measure_recall(
+            [PlantedPattern(name="star", pattern=hub_and_spoke(2, edge_labels=[1, 1]), copies=2)],
+            [hub_and_spoke(2, edge_labels=[1, 1])],
+        )
+        assert report.recall == pytest.approx(1.0)

@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.binning import AttributeBinning
+from repro.graphs.canonical import graph_invariant
+from repro.graphs.isomorphism import are_isomorphic, has_embedding
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.mining.interestingness import confidence, leverage, lift
+from repro.partitioning.split_graph import PartitionStrategy, coverage_is_exact, split_graph
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def labeled_graphs(draw, max_vertices: int = 7, max_edges: int = 12):
+    """A small random labeled directed graph."""
+    n_vertices = draw(st.integers(min_value=1, max_value=max_vertices))
+    vertex_labels = draw(
+        st.lists(st.sampled_from(["place", "depot"]), min_size=n_vertices, max_size=n_vertices)
+    )
+    graph = LabeledGraph()
+    for index, label in enumerate(vertex_labels):
+        graph.add_vertex(f"v{index}", label)
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    for _ in range(n_edges):
+        source = draw(st.integers(min_value=0, max_value=n_vertices - 1))
+        target = draw(st.integers(min_value=0, max_value=n_vertices - 1))
+        if source == target:
+            continue
+        label = draw(st.integers(min_value=0, max_value=3))
+        graph.add_edge(f"v{source}", f"v{target}", label)
+    return graph
+
+
+def _shuffled_copy(graph: LabeledGraph, seed: int) -> LabeledGraph:
+    """An isomorphic copy with renamed, shuffled vertex identifiers."""
+    rng = random.Random(seed)
+    names = list(graph.vertices())
+    shuffled = list(names)
+    rng.shuffle(shuffled)
+    mapping = {old: f"w{index}_{new}" for index, (old, new) in enumerate(zip(names, shuffled))}
+    clone = LabeledGraph()
+    for vertex in names:
+        clone.add_vertex(mapping[vertex], graph.vertex_label(vertex))
+    for edge in graph.edges():
+        clone.add_edge(mapping[edge.source], mapping[edge.target], edge.label)
+    return clone
+
+
+# ----------------------------------------------------------------------
+# Graph properties
+# ----------------------------------------------------------------------
+class TestGraphProperties:
+    @given(labeled_graphs(), st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=40, deadline=None)
+    def test_renamed_graphs_are_isomorphic_with_equal_invariants(self, graph, seed):
+        copy = _shuffled_copy(graph, seed)
+        assert are_isomorphic(graph, copy)
+        assert graph_invariant(graph) == graph_invariant(copy)
+
+    @given(labeled_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_graph_embeds_in_itself(self, graph):
+        assert has_embedding(graph, graph)
+
+    @given(labeled_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_edge_subgraph_embeds_in_parent(self, graph):
+        edges = list(graph.edges())
+        if not edges:
+            return
+        sub = graph.edge_subgraph(edges[: max(1, len(edges) // 2)])
+        assert has_embedding(sub, graph)
+
+    @given(labeled_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sums_match_edge_count(self, graph):
+        total_out = sum(graph.out_degree(v) for v in graph.vertices())
+        total_in = sum(graph.in_degree(v) for v in graph.vertices())
+        assert total_out == graph.n_edges
+        assert total_in == graph.n_edges
+
+    @given(labeled_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equals_original(self, graph):
+        clone = graph.copy()
+        assert are_isomorphic(graph, clone)
+        assert clone.n_edges == graph.n_edges
+
+
+# ----------------------------------------------------------------------
+# Partitioning properties (Algorithm 2 invariants)
+# ----------------------------------------------------------------------
+class TestPartitioningProperties:
+    @given(
+        labeled_graphs(max_vertices=8, max_edges=16),
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from([PartitionStrategy.BREADTH_FIRST, PartitionStrategy.DEPTH_FIRST]),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partitions_cover_every_edge_exactly_once(self, graph, k, strategy, seed):
+        partitions = split_graph(graph, k, strategy=strategy, seed=seed)
+        assert coverage_is_exact(graph, partitions)
+
+    @given(
+        labeled_graphs(max_vertices=8, max_edges=16),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_vertex_labels_match_source_graph(self, graph, k, seed):
+        partitions = split_graph(graph, k, seed=seed)
+        for partition in partitions:
+            for vertex in partition.vertices():
+                assert partition.vertex_label(vertex) == graph.vertex_label(vertex)
+
+
+# ----------------------------------------------------------------------
+# Binning properties
+# ----------------------------------------------------------------------
+class TestBinningProperties:
+    @given(
+        st.floats(min_value=-1e5, max_value=1e6, allow_nan=False),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_value_gets_a_valid_bin(self, value, count):
+        binning = AttributeBinning.equal_width("X", 0.0, 1_000.0, count)
+        index = binning.index_for(value)
+        assert 0 <= index < count
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1_000, allow_nan=False), min_size=2, max_size=30),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_binning_is_monotone(self, values, count):
+        binning = AttributeBinning.equal_width("X", 0.0, 1_000.0, count)
+        ordered = sorted(values)
+        indices = [binning.index_for(value) for value in ordered]
+        assert indices == sorted(indices)
+
+
+# ----------------------------------------------------------------------
+# Interestingness measure properties
+# ----------------------------------------------------------------------
+class TestInterestingnessProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_confidence_bounded(self, both, antecedent, consequent):
+        both = min(both, antecedent)
+        assert 0.0 <= confidence(both, antecedent) <= 1.0
+
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_independence_gives_unit_lift_and_zero_leverage(self, p_a, p_c):
+        both = p_a * p_c
+        assert abs(lift(both, p_a, p_c) - 1.0) < 1e-9
+        assert abs(leverage(both, p_a, p_c)) < 1e-9

@@ -1,0 +1,90 @@
+"""Tests for table / figure / comparison rendering."""
+
+from __future__ import annotations
+
+from repro.core.results import ExperimentReport
+from repro.datasets.statistics import compute_statistics
+from repro.graphs.motifs import hub_and_spoke
+from repro.mining.em_clustering import ClusterSummary
+from repro.partitioning.temporal import partition_by_date, summarize_transactions
+from repro.reporting.comparison import agreement_summary, render_comparison, render_comparisons
+from repro.reporting.figures import render_bar_chart, render_cluster_summaries, render_pattern
+from repro.reporting.tables import (
+    render_dataset_description,
+    render_statistics_table,
+    render_temporal_summary,
+)
+
+
+class TestTables:
+    def test_dataset_description_lists_all_attributes(self):
+        text = render_dataset_description()
+        assert "GROSS_WEIGHT" in text
+        assert "Truckload or Less than Truckload." in text
+        assert text.count("\n") >= 12
+
+    def test_statistics_table(self, tiny_dataset):
+        text = render_statistics_table(compute_statistics(tiny_dataset))
+        assert "Distinct OD pairs" in text
+        assert "Mode LTL" in text
+
+    def test_temporal_summary_table(self, tiny_dataset, binning):
+        summary = summarize_transactions(partition_by_date(tiny_dataset, binning=binning))
+        text = render_temporal_summary(summary)
+        assert "Number of Input Transactions" in text
+        assert "Graph Transactions with Size between" in text
+
+
+class TestFigures:
+    def test_render_pattern_shows_edges_and_shape(self):
+        text = render_pattern(hub_and_spoke(3, edge_labels=[1, 2, 3]), title="Figure 2 style")
+        assert "Figure 2 style" in text
+        assert "shape=hub_and_spoke" in text
+        assert text.count("-[") == 3
+
+    def test_render_cluster_summaries(self):
+        summaries = [
+            ClusterSummary(index=0, size=3, means={"TOTAL_DISTANCE": 3100.0, "MOVE_TRANSIT_HOURS": 17.0}, std_devs={}),
+            ClusterSummary(index=1, size=100, means={"TOTAL_DISTANCE": 240.0, "MOVE_TRANSIT_HOURS": 30.0}, std_devs={}),
+        ]
+        text = render_cluster_summaries(summaries)
+        assert "3100.0" in text
+        assert "cluster" in text
+
+    def test_render_bar_chart(self):
+        text = render_bar_chart({"c0": 10.0, "c1": 40.0}, title="distance")
+        assert "distance" in text
+        assert "#" in text
+
+    def test_render_bar_chart_empty(self):
+        assert "(no data)" in render_bar_chart({})
+
+
+class TestComparison:
+    def _report(self) -> ExperimentReport:
+        return ExperimentReport(
+            experiment_id="T9",
+            description="toy experiment",
+            paper={"claim": True, "count": 10},
+            measured={"claim": True, "count": 12, "extra": "x"},
+        )
+
+    def test_render_comparison_contains_all_metrics(self):
+        text = render_comparison(self._report())
+        assert "toy experiment" in text
+        assert "claim" in text and "count" in text and "extra" in text
+
+    def test_render_comparisons_joins_reports(self):
+        text = render_comparisons([self._report(), self._report()])
+        assert text.count("toy experiment") == 2
+
+    def test_agreement_summary_only_checks_booleans(self):
+        agreement = agreement_summary(self._report())
+        assert agreement == {"claim": True}
+
+    def test_comparison_rows_union_of_keys(self):
+        rows = self._report().comparison_rows()
+        assert [row[0] for row in rows] == ["claim", "count", "extra"]
+
+    def test_to_text(self):
+        assert "toy experiment" in self._report().to_text()

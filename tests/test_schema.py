@@ -1,0 +1,135 @@
+"""Unit tests for the transaction schema (Table 1)."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.datasets.schema import (
+    ATTRIBUTE_DESCRIPTIONS,
+    ATTRIBUTE_NAMES,
+    Location,
+    TransMode,
+    Transaction,
+    TransactionDataset,
+)
+
+
+def _make_transaction(**overrides) -> Transaction:
+    values = dict(
+        id=1,
+        req_pickup_dt=date(2004, 3, 1),
+        req_delivery_dt=date(2004, 3, 3),
+        origin=Location(41.9, -87.6),
+        destination=Location(33.7, -84.4),
+        total_distance=716.0,
+        gross_weight=30_000.0,
+        move_transit_hours=17.5,
+        trans_mode=TransMode.TRUCKLOAD,
+    )
+    values.update(overrides)
+    return Transaction(**values)
+
+
+class TestLocation:
+    def test_coordinates_round_to_tenth_of_degree(self):
+        location = Location(41.8781, -87.6298)
+        assert location.latitude == pytest.approx(41.9)
+        assert location.longitude == pytest.approx(-87.6)
+
+    def test_locations_rounding_to_same_point_are_equal(self):
+        assert Location(41.87, -87.62) == Location(41.91, -87.58)
+
+    def test_label_format(self):
+        assert Location(41.9, -87.6).label() == "41.9,-87.6"
+
+    def test_as_tuple(self):
+        assert Location(40.0, -80.0).as_tuple() == (40.0, -80.0)
+
+    def test_locations_are_hashable_and_usable_as_vertices(self):
+        places = {Location(41.9, -87.6), Location(41.9, -87.6), Location(33.7, -84.4)}
+        assert len(places) == 2
+
+
+class TestTransaction:
+    def test_attribute_names_match_table1(self):
+        assert len(ATTRIBUTE_NAMES) == 11
+        assert set(ATTRIBUTE_NAMES) == set(ATTRIBUTE_DESCRIPTIONS)
+
+    def test_delivery_before_pickup_rejected(self):
+        with pytest.raises(ValueError, match="delivery date precedes"):
+            _make_transaction(req_delivery_dt=date(2004, 2, 1))
+
+    @pytest.mark.parametrize(
+        "field", ["total_distance", "gross_weight", "move_transit_hours"]
+    )
+    def test_negative_numeric_values_rejected(self, field):
+        with pytest.raises(ValueError):
+            _make_transaction(**{field: -1.0})
+
+    def test_od_pair(self):
+        txn = _make_transaction()
+        assert txn.od_pair == (Location(41.9, -87.6), Location(33.7, -84.4))
+
+    def test_transit_days_inclusive(self):
+        txn = _make_transaction()
+        assert txn.transit_days == 3
+
+    def test_active_dates_cover_window(self):
+        txn = _make_transaction()
+        actives = list(txn.active_dates())
+        assert actives == [date(2004, 3, 1), date(2004, 3, 2), date(2004, 3, 3)]
+
+    def test_record_round_trip(self):
+        txn = _make_transaction()
+        restored = Transaction.from_record(txn.as_record())
+        assert restored == txn
+
+    def test_with_id(self):
+        txn = _make_transaction()
+        assert txn.with_id(99).id == 99
+        assert txn.id == 1
+
+
+class TestTransactionDataset:
+    def test_len_and_iteration(self, tiny_dataset):
+        assert len(tiny_dataset) == 4
+        assert len(list(tiny_dataset)) == 4
+
+    def test_locations_origins_destinations(self, tiny_dataset):
+        assert len(tiny_dataset.locations) == 3
+        assert len(tiny_dataset.origins) == 2
+        assert len(tiny_dataset.destinations) == 2
+
+    def test_od_pairs_deduplicated(self, tiny_dataset):
+        # Transactions 1 and 4 share the same OD pair.
+        assert len(tiny_dataset.od_pairs) == 3
+
+    def test_date_range(self, tiny_dataset):
+        start, end = tiny_dataset.date_range()
+        assert start == date(2004, 1, 5)
+        assert end == date(2004, 1, 13)
+
+    def test_date_range_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            TransactionDataset().date_range()
+
+    def test_filter(self, tiny_dataset):
+        heavy = tiny_dataset.filter(lambda txn: txn.gross_weight > 10_000)
+        assert len(heavy) == 2
+
+    def test_sample_reproducible(self, tiny_dataset):
+        import random
+
+        first = tiny_dataset.sample(2, random.Random(3))
+        second = tiny_dataset.sample(2, random.Random(3))
+        assert [t.id for t in first] == [t.id for t in second]
+
+    def test_sample_larger_than_dataset_returns_all(self, tiny_dataset):
+        assert len(tiny_dataset.sample(100, __import__("random").Random(1))) == 4
+
+    def test_records_round_trip(self, tiny_dataset):
+        records = tiny_dataset.to_records()
+        rebuilt = TransactionDataset.from_records(records, name="tiny")
+        assert [t.id for t in rebuilt] == [t.id for t in tiny_dataset]

@@ -1,0 +1,114 @@
+"""Tests for Algorithm 2: breadth-first / depth-first graph partitioning."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.motifs import chain, hub_and_spoke
+from repro.partitioning.split_graph import (
+    PartitionStrategy,
+    coverage_is_exact,
+    partition_edge_counts,
+    split_graph,
+)
+
+
+def _grid_like_graph(rows: int = 5, columns: int = 5) -> LabeledGraph:
+    """A connected graph with moderate degrees for partitioning tests."""
+    graph = LabeledGraph(name="grid")
+    for r in range(rows):
+        for c in range(columns):
+            graph.add_vertex((r, c), "place")
+    for r in range(rows):
+        for c in range(columns):
+            if c + 1 < columns:
+                graph.add_edge((r, c), (r, c + 1), (r + c) % 3)
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c), (r * c) % 3)
+    return graph
+
+
+class TestSplitGraph:
+    @pytest.mark.parametrize("strategy", ["breadth_first", "depth_first"])
+    def test_every_edge_assigned_exactly_once(self, strategy):
+        graph = _grid_like_graph()
+        partitions = split_graph(graph, 5, strategy=strategy, seed=3)
+        assert coverage_is_exact(graph, partitions)
+
+    @pytest.mark.parametrize("strategy", [PartitionStrategy.BREADTH_FIRST, PartitionStrategy.DEPTH_FIRST])
+    def test_original_graph_unmodified(self, strategy):
+        graph = _grid_like_graph()
+        edges_before = graph.n_edges
+        split_graph(graph, 4, strategy=strategy, seed=1)
+        assert graph.n_edges == edges_before
+
+    def test_partition_count_close_to_k(self):
+        graph = _grid_like_graph()
+        partitions = split_graph(graph, 5, seed=2)
+        assert 3 <= len(partitions) <= 10
+
+    def test_partitions_have_no_orphan_vertices(self):
+        graph = _grid_like_graph()
+        for partition in split_graph(graph, 5, seed=4):
+            assert all(partition.degree(v) > 0 for v in partition.vertices())
+
+    def test_k_one_returns_whole_graph(self):
+        graph = _grid_like_graph(3, 3)
+        partitions = split_graph(graph, 1, seed=0)
+        assert sum(p.n_edges for p in partitions) == graph.n_edges
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            split_graph(_grid_like_graph(), 0)
+
+    def test_empty_graph_gives_no_partitions(self):
+        assert split_graph(LabeledGraph(), 3) == []
+
+    def test_reproducible_with_seed(self):
+        graph = _grid_like_graph()
+        first = split_graph(graph, 4, seed=11)
+        second = split_graph(graph, 4, seed=11)
+        assert [sorted((str(e.source), str(e.target)) for e in p.edges()) for p in first] == [
+            sorted((str(e.source), str(e.target)) for e in p.edges()) for p in second
+        ]
+
+    def test_shared_rng_gives_different_partitionings(self):
+        graph = _grid_like_graph()
+        rng = random.Random(5)
+        first = split_graph(graph, 4, rng=rng)
+        second = split_graph(graph, 4, rng=rng)
+        assert [p.n_edges for p in first] != [p.n_edges for p in second] or [
+            sorted(str(v) for v in p.vertices()) for p in first
+        ] != [sorted(str(v) for v in p.vertices()) for p in second]
+
+    def test_string_strategy_accepted(self):
+        partitions = split_graph(_grid_like_graph(), 3, strategy="depth_first", seed=1)
+        assert partitions
+
+    def test_partition_edge_counts_helper(self):
+        graph = _grid_like_graph()
+        partitions = split_graph(graph, 4, seed=9)
+        counts = partition_edge_counts(partitions)
+        assert sum(counts) == graph.n_edges
+
+    def test_vertex_labels_preserved_in_partitions(self):
+        graph = hub_and_spoke(6, vertex_label="depot")
+        partitions = split_graph(graph, 2, seed=1)
+        for partition in partitions:
+            assert all(partition.vertex_label(v) == "depot" for v in partition.vertices())
+
+    def test_breadth_first_keeps_star_together_when_quota_allows(self):
+        star = hub_and_spoke(8)
+        partitions = split_graph(star, 1, strategy=PartitionStrategy.BREADTH_FIRST, seed=2)
+        assert len(partitions) == 1
+        assert partitions[0].n_edges == 8
+
+    def test_depth_first_on_chain_preserves_chain(self):
+        path = chain(10)
+        partitions = split_graph(path, 2, strategy=PartitionStrategy.DEPTH_FIRST, seed=3)
+        # The chain is cut into path segments; each partition is itself a path.
+        for partition in partitions:
+            assert all(partition.out_degree(v) <= 1 and partition.in_degree(v) <= 1 for v in partition.vertices())

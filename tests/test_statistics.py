@@ -1,0 +1,69 @@
+"""Tests for dataset summary statistics (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.schema import TransactionDataset
+from repro.datasets.statistics import (
+    DegreeSummary,
+    PAPER_REPORTED_STATISTICS,
+    compute_statistics,
+)
+
+
+class TestDegreeSummary:
+    def test_from_counts(self):
+        summary = DegreeSummary.from_counts({"a": 1, "b": 3, "c": 2})
+        assert summary.minimum == 1
+        assert summary.maximum == 3
+        assert summary.average == pytest.approx(2.0)
+
+    def test_empty_counts(self):
+        summary = DegreeSummary.from_counts({})
+        assert summary.minimum == 0 and summary.maximum == 0 and summary.average == 0.0
+
+
+class TestComputeStatistics:
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            compute_statistics(TransactionDataset())
+
+    def test_tiny_dataset_counts(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert stats.n_transactions == 4
+        assert stats.n_locations == 3
+        assert stats.n_origins == 2
+        assert stats.n_destinations == 2
+        assert stats.n_od_pairs == 3
+
+    def test_tiny_dataset_degrees(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        # Chicago ships to two distinct destinations, Indianapolis to one.
+        assert stats.out_degree.maximum == 2
+        assert stats.out_degree.minimum == 1
+        # Atlanta receives from two distinct origins.
+        assert stats.in_degree.maximum == 2
+
+    def test_degrees_count_distinct_lanes_not_trips(self, tiny_dataset):
+        # Transactions 1 and 4 repeat the same lane; the degree must not double-count.
+        stats = compute_statistics(tiny_dataset)
+        assert stats.out_degree.maximum == 2
+
+    def test_transactions_per_od_pair(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert stats.transactions_per_od_pair == pytest.approx(4 / 3)
+
+    def test_mode_counts(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert stats.mode_counts == {"LTL": 2, "TL": 2}
+
+    def test_as_dict_keys_match_paper_reference(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert set(stats.as_dict()) == set(PAPER_REPORTED_STATISTICS)
+
+    def test_generated_dataset_degree_shape(self, small_dataset):
+        stats = compute_statistics(small_dataset)
+        # The paper's graph has highly skewed out-degree and lower in-degree skew.
+        assert stats.out_degree.maximum > stats.in_degree.maximum
+        assert stats.out_degree.average >= 1.0

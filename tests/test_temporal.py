@@ -1,0 +1,111 @@
+"""Tests for the temporal (per-date) partitioning of Section 6."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.partitioning.temporal import (
+    TemporalTransaction,
+    graphs_of,
+    partition_by_date,
+    prepare_temporal_transactions,
+    summarize_transactions,
+)
+
+
+class TestPartitionByDate:
+    def test_one_transaction_per_active_date(self, tiny_dataset, binning):
+        transactions = partition_by_date(tiny_dataset, binning=binning)
+        dates = [t.active_date for t in transactions]
+        assert dates == sorted(dates)
+        # Active dates: Jan 5-8 (loads 1-3) and Jan 12-13 (load 4).
+        assert date(2004, 1, 5) in dates
+        assert date(2004, 1, 12) in dates
+        assert date(2004, 1, 9) not in dates
+
+    def test_edge_active_between_pickup_and_delivery(self, tiny_dataset, binning):
+        transactions = {t.active_date: t for t in partition_by_date(tiny_dataset, binning=binning)}
+        # Load 2 (Chicago -> Atlanta) is active Jan 5, 6, 7.
+        for day in (date(2004, 1, 5), date(2004, 1, 6), date(2004, 1, 7)):
+            graph = transactions[day].graph
+            chicago = next(v for v in graph.vertices() if graph.vertex_label(v) == "41.9,-87.6")
+            atlanta = next(v for v in graph.vertices() if graph.vertex_label(v) == "33.7,-84.4")
+            assert graph.has_edge(chicago, atlanta)
+
+    def test_vertices_carry_location_labels(self, tiny_dataset, binning):
+        transactions = partition_by_date(tiny_dataset, binning=binning)
+        graph = transactions[0].graph
+        labels = {graph.vertex_label(v) for v in graph.vertices()}
+        assert all("," in label for label in labels)
+
+    def test_duplicate_edges_removed(self, tiny_dataset, binning):
+        # Loads 1 and 2 share the same origin on Jan 5-6 but different lanes;
+        # build a dataset where two loads share the same lane and day.
+        doubled = tiny_dataset
+        doubled.add(tiny_dataset[0].with_id(99))
+        transactions = partition_by_date(doubled, binning=binning)
+        jan5 = next(t for t in transactions if t.active_date == date(2004, 1, 5))
+        pairs = [(e.source, e.target) for e in jan5.graph.edges()]
+        assert len(pairs) == len(set(pairs))
+
+    def test_interval_labels_option(self, tiny_dataset, binning):
+        transactions = partition_by_date(tiny_dataset, binning=binning, use_interval_labels=True)
+        labels = {e.label for t in transactions for e in t.graph.edges()}
+        assert all(isinstance(label, str) and label.startswith("[") for label in labels)
+
+
+class TestPrepare:
+    def test_single_edge_transactions_dropped(self, tiny_dataset, binning):
+        raw = partition_by_date(tiny_dataset, binning=binning)
+        prepared = prepare_temporal_transactions(raw)
+        assert all(t.n_edges >= 2 for t in prepared)
+
+    def test_components_are_connected(self, tiny_dataset, binning):
+        from repro.graphs.components import is_connected
+
+        raw = partition_by_date(tiny_dataset, binning=binning)
+        prepared = prepare_temporal_transactions(raw, drop_single_edge=False)
+        assert all(is_connected(t.graph) for t in prepared)
+
+    def test_vertex_label_filter(self, small_dataset, binning):
+        raw = partition_by_date(small_dataset, binning=binning)
+        strict = prepare_temporal_transactions(raw, max_vertex_labels=10, drop_single_edge=False, split_components=False)
+        lenient = prepare_temporal_transactions(raw, max_vertex_labels=None, drop_single_edge=False, split_components=False)
+        assert len(strict) <= len(lenient)
+        for transaction in strict:
+            labels = {transaction.graph.vertex_label(v) for v in transaction.graph.vertices()}
+            assert len(labels) < 10
+
+    def test_graphs_of_helper(self, tiny_dataset, binning):
+        raw = partition_by_date(tiny_dataset, binning=binning)
+        graphs = graphs_of(raw)
+        assert len(graphs) == len(raw)
+
+
+class TestSummary:
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_transactions([])
+
+    def test_summary_statistics(self, tiny_dataset, binning):
+        raw = partition_by_date(tiny_dataset, binning=binning)
+        summary = summarize_transactions(raw)
+        assert summary.n_transactions == len(raw)
+        assert summary.max_edges >= summary.average_edges
+        assert summary.n_distinct_vertex_labels <= len(tiny_dataset.locations)
+        assert sum(summary.size_histogram.values()) <= summary.n_transactions
+
+    def test_summary_rows_rendering(self, tiny_dataset, binning):
+        raw = partition_by_date(tiny_dataset, binning=binning)
+        summary = summarize_transactions(raw)
+        rows = summary.as_rows()
+        assert rows[0][0] == "Number of Input Transactions"
+        assert len(rows) >= 7
+
+    def test_generated_dataset_has_seven_edge_labels(self, small_dataset, binning):
+        # Table 2 reports seven distinct edge labels (the weight bins).
+        raw = partition_by_date(small_dataset, binning=binning)
+        summary = summarize_transactions(raw)
+        assert summary.n_distinct_edge_labels == 7

@@ -1,0 +1,65 @@
+"""Tests for the flat transactional representations (Section 7 preprocessing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.transactional import (
+    CONVENTIONAL_ATTRIBUTES,
+    COORDINATE_ATTRIBUTES,
+    dataset_to_feature_table,
+    feature_table_to_item_transactions,
+    numeric_matrix,
+    transaction_features,
+)
+
+
+class TestFeatureTable:
+    def test_dates_excluded_by_default(self, tiny_dataset):
+        table = dataset_to_feature_table(tiny_dataset)
+        assert "REQ_PICKUP_DT" not in table[0]
+        assert "REQ_DELIVERY_DT" not in table[0]
+        assert set(table[0]) == set(CONVENTIONAL_ATTRIBUTES)
+
+    def test_row_count_matches_dataset(self, tiny_dataset):
+        assert len(dataset_to_feature_table(tiny_dataset)) == len(tiny_dataset)
+
+    def test_attribute_subset(self, tiny_dataset):
+        table = dataset_to_feature_table(tiny_dataset, attributes=COORDINATE_ATTRIBUTES)
+        assert set(table[0]) == set(COORDINATE_ATTRIBUTES)
+
+    def test_unknown_attribute_rejected(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            transaction_features(tiny_dataset[0], attributes=["NOT_A_COLUMN"])
+
+    def test_values_match_transaction(self, tiny_dataset):
+        row = transaction_features(tiny_dataset[0])
+        assert row["GROSS_WEIGHT"] == tiny_dataset[0].gross_weight
+        assert row["TRANS_MODE"] == tiny_dataset[0].trans_mode.value
+
+
+class TestItemTransactions:
+    def test_items_are_attribute_value_pairs(self, tiny_dataset):
+        table = dataset_to_feature_table(tiny_dataset)
+        transactions = feature_table_to_item_transactions(table)
+        assert len(transactions) == len(table)
+        assert any(item.startswith("TRANS_MODE=") for item in transactions[0])
+
+    def test_item_count_per_transaction(self, tiny_dataset):
+        table = dataset_to_feature_table(tiny_dataset)
+        transactions = feature_table_to_item_transactions(table)
+        assert all(len(t) == len(CONVENTIONAL_ATTRIBUTES) for t in transactions)
+
+
+class TestNumericMatrix:
+    def test_matrix_shape(self, tiny_dataset):
+        table = dataset_to_feature_table(tiny_dataset)
+        attributes = ["TOTAL_DISTANCE", "GROSS_WEIGHT"]
+        matrix = numeric_matrix(table, attributes)
+        assert len(matrix) == len(tiny_dataset)
+        assert all(len(row) == 2 for row in matrix)
+
+    def test_non_numeric_attribute_rejected(self, tiny_dataset):
+        table = dataset_to_feature_table(tiny_dataset)
+        with pytest.raises(ValueError):
+            numeric_matrix(table, ["TRANS_MODE"])

@@ -1,0 +1,95 @@
+"""Tests for sliding time-window partitioning (Section 9 challenge implementation)."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.datasets.schema import TransactionDataset
+from repro.partitioning.temporal import partition_by_date
+from repro.partitioning.windows import (
+    partition_by_window,
+    patterns_only_visible_over_windows,
+    window_graphs,
+)
+
+
+class TestPartitionByWindow:
+    def test_invalid_parameters(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            partition_by_window(tiny_dataset, window_days=0)
+        with pytest.raises(ValueError):
+            partition_by_window(tiny_dataset, window_days=3, stride_days=0)
+        with pytest.raises(ValueError):
+            partition_by_window(tiny_dataset, vertex_labeling="bogus")
+
+    def test_empty_dataset(self):
+        assert partition_by_window(TransactionDataset()) == []
+
+    def test_windows_cover_date_range(self, tiny_dataset):
+        windows = partition_by_window(tiny_dataset, window_days=7)
+        assert windows
+        first, last = tiny_dataset.date_range()
+        assert windows[0].window_start == first
+        assert windows[-1].window_end >= last
+
+    def test_window_length_property(self, tiny_dataset):
+        windows = partition_by_window(tiny_dataset, window_days=7)
+        assert all(window.window_days == 7 for window in windows)
+
+    def test_weekly_window_merges_daily_activity(self, tiny_dataset, binning):
+        # Loads 1-3 (Jan 5-8) and load 4 (Jan 12-13) fall into one 14-day window.
+        windows = partition_by_window(tiny_dataset, window_days=14, binning=binning)
+        assert len(windows) == 1
+        assert windows[0].n_edges == len(tiny_dataset.od_pairs)
+
+    def test_single_day_windows_match_daily_partitioning_edges(self, tiny_dataset, binning):
+        daily = partition_by_date(tiny_dataset, binning=binning)
+        windows = partition_by_window(tiny_dataset, window_days=1, binning=binning)
+        daily_edges = {t.active_date: t.n_edges for t in daily}
+        window_edges = {w.window_start: w.n_edges for w in windows}
+        for day, edges in window_edges.items():
+            assert daily_edges.get(day) == edges
+
+    def test_overlapping_windows_with_stride(self, tiny_dataset):
+        non_overlapping = partition_by_window(tiny_dataset, window_days=4)
+        overlapping = partition_by_window(tiny_dataset, window_days=4, stride_days=1)
+        assert len(overlapping) >= len(non_overlapping)
+
+    def test_uniform_vertex_labeling(self, tiny_dataset):
+        windows = partition_by_window(tiny_dataset, window_days=7, vertex_labeling="uniform")
+        labels = {
+            windows[0].graph.vertex_label(v) for v in windows[0].graph.vertices()
+        }
+        assert labels == {"place"}
+
+    def test_location_vertex_labeling_default(self, tiny_dataset):
+        windows = partition_by_window(tiny_dataset, window_days=7)
+        labels = {
+            windows[0].graph.vertex_label(v) for v in windows[0].graph.vertices()
+        }
+        assert all("," in label for label in labels)
+
+    def test_window_graphs_helper(self, tiny_dataset):
+        windows = partition_by_window(tiny_dataset, window_days=7)
+        graphs = window_graphs(windows)
+        assert len(graphs) == len(windows)
+
+    def test_windows_expose_cross_day_structure(self, tiny_dataset, binning):
+        """A route spread over several days is connected inside a window but not on any single day."""
+        from repro.graphs.components import connected_components
+
+        daily = partition_by_date(tiny_dataset, binning=binning)
+        # On no single day are all three locations connected through load 4's lane
+        # (Jan 12-13 only has the Chicago->Indianapolis edge).
+        jan12 = next(t for t in daily if t.active_date == date(2004, 1, 12))
+        assert jan12.graph.n_edges == 1
+        windows = partition_by_window(tiny_dataset, window_days=14, binning=binning)
+        assert len(connected_components(windows[0].graph)) == 1
+
+
+class TestWindowHelpers:
+    def test_patterns_only_visible_over_windows(self):
+        assert patterns_only_visible_over_windows(10, 14) == 4
+        assert patterns_only_visible_over_windows(14, 10) == 0
