@@ -36,6 +36,7 @@ from repro.core.results import ExperimentReport
 from repro.datasets.generator import GeneratorConfig, TransportationDataGenerator, generate_dataset
 from repro.datasets.schema import Location, TransMode, Transaction, TransactionDataset
 from repro.graphs.builders import build_od_graph
+from repro.graphs.engine import MatchEngine, default_engine
 from repro.graphs.labeled_graph import Edge, LabeledGraph, LabeledMultiGraph
 from repro.mining.fsg.miner import FSGMiner, mine_frequent_subgraphs
 from repro.mining.subdue.miner import SubdueMiner
@@ -58,6 +59,8 @@ __all__ = [
     "Transaction",
     "TransactionDataset",
     "build_od_graph",
+    "MatchEngine",
+    "default_engine",
     "Edge",
     "LabeledGraph",
     "LabeledMultiGraph",

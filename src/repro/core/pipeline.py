@@ -22,6 +22,7 @@ from typing import Sequence
 from repro.datasets.binning import BinningScheme
 from repro.datasets.schema import TransactionDataset
 from repro.graphs.builders import build_od_graph
+from repro.graphs.engine import MatchEngine
 from repro.mining.apriori import Apriori, AssociationRule
 from repro.mining.decision_tree import DecisionTreeClassifier, train_test_split
 from repro.mining.discretize import Discretizer
@@ -56,7 +57,13 @@ from repro.patterns.matching import ShapeSummary, summarize_shapes
 # ----------------------------------------------------------------------
 @dataclass
 class StructuralMiningPipeline:
-    """Section 5 pipeline: single OD graph -> partitions -> FSG -> shapes."""
+    """Section 5 pipeline: single OD graph -> partitions -> FSG -> shapes.
+
+    The pipeline owns one :class:`~repro.graphs.engine.MatchEngine` (or
+    accepts a caller-supplied one) and threads it through partition mining
+    so every repetition shares the same label table, graph indexes, and
+    verdict cache.
+    """
 
     edge_attribute: str = "GROSS_WEIGHT"
     binning: BinningScheme | None = None
@@ -66,9 +73,11 @@ class StructuralMiningPipeline:
     strategy: PartitionStrategy = PartitionStrategy.BREADTH_FIRST
     max_pattern_edges: int | None = 5
     seed: int = 17
+    engine: MatchEngine | None = None
 
     def run(self, dataset: TransactionDataset) -> "StructuralMiningOutcome":
         """Run the pipeline on *dataset*."""
+        engine = self.engine if self.engine is not None else MatchEngine()
         graph = build_od_graph(
             dataset,
             edge_attribute=self.edge_attribute,
@@ -83,9 +92,11 @@ class StructuralMiningPipeline:
             max_pattern_edges=self.max_pattern_edges,
             seed=self.seed,
         )
-        mining = mine_single_graph(graph, config)
+        mining = mine_single_graph(graph, config, engine=engine)
         shapes = summarize_shapes(mining.patterns)
-        return StructuralMiningOutcome(graph_name=graph.name, mining=mining, shapes=shapes)
+        return StructuralMiningOutcome(
+            graph_name=graph.name, mining=mining, shapes=shapes, engine=engine
+        )
 
 
 @dataclass
@@ -95,6 +106,7 @@ class StructuralMiningOutcome:
     graph_name: str
     mining: StructuralMiningResult
     shapes: ShapeSummary
+    engine: MatchEngine | None = None
 
 
 # ----------------------------------------------------------------------
@@ -111,9 +123,11 @@ class TemporalMiningPipeline:
     max_pattern_edges: int | None = 5
     memory_budget: int | None = None
     use_interval_labels: bool = False
+    engine: MatchEngine | None = None
 
     def run(self, dataset: TransactionDataset) -> "TemporalMiningOutcome":
         """Run the pipeline on *dataset*."""
+        engine = self.engine if self.engine is not None else MatchEngine()
         raw = partition_by_date(
             dataset,
             edge_attribute=self.edge_attribute,
@@ -132,6 +146,7 @@ class TemporalMiningPipeline:
             min_support=self.min_support,
             max_edges=self.max_pattern_edges,
             memory_budget=self.memory_budget,
+            engine=engine,
         )
         mining = miner.mine(graphs_of(prepared)) if prepared else FSGResult()
         shapes = summarize_shapes(mining.patterns)
@@ -142,6 +157,7 @@ class TemporalMiningPipeline:
             prepared_summary=prepared_summary,
             mining=mining,
             shapes=shapes,
+            engine=engine,
         )
 
 
@@ -155,6 +171,7 @@ class TemporalMiningOutcome:
     prepared_summary: TemporalPartitionSummary | None
     mining: FSGResult
     shapes: ShapeSummary
+    engine: MatchEngine | None = None
 
 
 # ----------------------------------------------------------------------

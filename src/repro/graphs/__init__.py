@@ -11,6 +11,9 @@ chain, cycle, bow-tie) used to interpret mined patterns.
 """
 
 from repro.graphs.labeled_graph import Edge, LabeledGraph, LabeledMultiGraph
+from repro.graphs.compact import CompactGraph, LabelTable
+from repro.graphs.index import GraphIndex
+from repro.graphs.engine import MatchEngine, default_engine
 from repro.graphs.isomorphism import (
     are_isomorphic,
     count_embeddings,
@@ -46,6 +49,11 @@ __all__ = [
     "Edge",
     "LabeledGraph",
     "LabeledMultiGraph",
+    "CompactGraph",
+    "LabelTable",
+    "GraphIndex",
+    "MatchEngine",
+    "default_engine",
     "are_isomorphic",
     "count_embeddings",
     "find_embedding",

@@ -1,0 +1,459 @@
+"""The shared, indexed subgraph-matching engine.
+
+Every mining layer in this reproduction — FSG support counting, SUBDUE
+instance grouping, planted-pattern recall, maximal-pattern filtering —
+bottoms out in label-preserving subgraph isomorphism.  A
+:class:`MatchEngine` is the one place those queries go through:
+
+* graphs are compacted to integer form (:mod:`repro.graphs.compact`)
+  through a corpus-wide :class:`~repro.graphs.compact.LabelTable`, so
+  label comparisons are integer comparisons;
+* each graph gets a :class:`~repro.graphs.index.GraphIndex` built once
+  and reused for every query against it (candidate buckets, label
+  histograms, memoized invariants / canonical codes);
+* queries start with invariant-based early rejection (sizes, label
+  histograms, edge-triple containment) before any search;
+* registered transactions get a TID-keyed LRU of
+  ``(pattern canonical code, transaction id)`` match verdicts, so a
+  pattern re-queried against the same transaction — across FSG levels or
+  mining repetitions — is answered from cache.
+
+Caching contract
+----------------
+Indexes are keyed on graph identity plus the graph's mutation counter
+(:class:`~repro.graphs.labeled_graph.LabeledGraph` bumps an internal
+version on every mutation), so mutating a graph after it was indexed is
+safe: the next query rebuilds.  Verdict caching is only applied to
+transactions registered via :meth:`MatchEngine.add_transactions` (the
+engine holds strong references to those, so ids cannot be recycled), and
+only for patterns whose exact canonical code is computable; symmetric
+patterns that defeat canonicalisation are still matched, just never
+verdict-cached.  As in :mod:`repro.graphs.canonical`, labels are assumed
+to have distinct ``str()`` forms.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.graphs.canonical import CanonicalizationError
+from repro.graphs.compact import CompactGraph, LabelTable
+from repro.graphs.index import GraphIndex
+from repro.graphs.labeled_graph import LabeledGraph, VertexId
+
+#: Sentinel for "canonical code unavailable" pattern keys.
+_NO_KEY = object()
+
+
+@dataclass
+class EngineStats:
+    """Observable counters for benchmarking and tests."""
+
+    indexes_built: int = 0
+    searches: int = 0
+    early_rejects: int = 0
+    verdict_hits: int = 0
+    verdict_misses: int = 0
+
+
+class _Entry:
+    __slots__ = ("version", "index")
+
+    def __init__(self, version: int, index: GraphIndex) -> None:
+        self.version = version
+        self.index = index
+
+
+class MatchEngine:
+    """Indexed subgraph-isomorphism engine shared across mining layers."""
+
+    def __init__(
+        self,
+        label_table: LabelTable | None = None,
+        verdict_cache_size: int = 1 << 17,
+    ) -> None:
+        self.table = label_table if label_table is not None else LabelTable()
+        self.verdict_cache_size = verdict_cache_size
+        self.stats = EngineStats()
+        self._entries: "weakref.WeakKeyDictionary[LabeledGraph, _Entry]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._transactions: list[LabeledGraph | None] = []
+        # Parallel to _transactions: their index entries, bypassing the
+        # weak dictionary on the per-tid hot path of support().  A None
+        # in either list marks a released tid.
+        self._transaction_entries: list[_Entry | None] = []
+        self._verdicts: OrderedDict[tuple, bool] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def index_of(self, graph: LabeledGraph) -> GraphIndex:
+        """The (cached) index of *graph*, rebuilt if the graph mutated."""
+        version = getattr(graph, "_version", 0)
+        entry = self._entries.get(graph)
+        if entry is not None and entry.version == version:
+            return entry.index
+        index = GraphIndex(CompactGraph.from_labeled(graph, self.table))
+        self._entries[graph] = _Entry(version, index)
+        self.stats.indexes_built += 1
+        return index
+
+    def compact_of(self, graph: LabeledGraph) -> CompactGraph:
+        """The (cached) compact form of *graph*."""
+        return self.index_of(graph).compact
+
+    def graph_invariant(self, graph: LabeledGraph) -> str:
+        """Memoized cheap isomorphism-invariant fingerprint of *graph*."""
+        return self.index_of(graph).invariant()
+
+    def canonical_code(self, graph: LabeledGraph, max_orderings: int = 50_000) -> str:
+        """Memoized exact canonical code; raises :class:`CanonicalizationError`."""
+        return self.index_of(graph).canonical(max_orderings=max_orderings)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def add_transactions(self, transactions: Iterable[LabeledGraph]) -> list[int]:
+        """Register *transactions* for TID-based queries; returns their tids."""
+        tids: list[int] = []
+        for transaction in transactions:
+            tid = len(self._transactions)
+            self._transactions.append(transaction)
+            self.index_of(transaction)
+            self._transaction_entries.append(self._entries[transaction])
+            tids.append(tid)
+        return tids
+
+    def release_transactions(self, tids: Iterable[int]) -> None:
+        """Drop the strong references held for *tids*.
+
+        Tids are never reused (the slots stay occupied), so verdict-cache
+        keys remain unambiguous; the stale verdicts simply age out of the
+        LRU.  A shared engine that serves many mining rounds must release
+        each round's transactions or it retains every graph ever mined —
+        cross-round verdict reuse is impossible anyway because each round
+        gets fresh tids.  Querying a released tid raises.
+        """
+        for tid in tids:
+            self._transactions[tid] = None
+            self._transaction_entries[tid] = None
+
+    @property
+    def n_transactions(self) -> int:
+        """Number of transaction slots (including released ones)."""
+        return len(self._transactions)
+
+    def transaction(self, tid: int) -> LabeledGraph:
+        """The registered transaction with id *tid*; raises if released."""
+        transaction = self._transactions[tid]
+        if transaction is None:
+            raise KeyError(f"transaction {tid} has been released from this engine")
+        return transaction
+
+    # ------------------------------------------------------------------
+    # Matching API
+    # ------------------------------------------------------------------
+    def find_embeddings(
+        self,
+        pattern: LabeledGraph,
+        target: LabeledGraph,
+        max_count: int | None = None,
+    ) -> list[dict[VertexId, VertexId]]:
+        """All (or the first *max_count*) embeddings of *pattern* in *target*.
+
+        Embeddings are injective, label-preserving, non-induced mappings
+        returned in original vertex-identifier terms, exactly like the
+        legacy :func:`repro.graphs.isomorphism.find_embeddings`.
+        """
+        if pattern.n_vertices == 0:
+            return [{}]
+        p_index = self.index_of(pattern)
+        t_index = self.index_of(target)
+        compact_maps = self._compact_embeddings(p_index, t_index, max_count)
+        p_ids = p_index.compact.vertex_ids
+        t_ids = t_index.compact.vertex_ids
+        return [
+            {p_ids[p_vertex]: t_ids[t_vertex] for p_vertex, t_vertex in mapping.items()}
+            for mapping in compact_maps
+        ]
+
+    def find_embedding(
+        self, pattern: LabeledGraph, target: LabeledGraph
+    ) -> dict[VertexId, VertexId] | None:
+        """The first embedding of *pattern* in *target*, or ``None``."""
+        embeddings = self.find_embeddings(pattern, target, max_count=1)
+        return embeddings[0] if embeddings else None
+
+    def has_embedding(self, pattern: LabeledGraph, target: LabeledGraph) -> bool:
+        """Whether *pattern* occurs in *target* (FSG occurrence semantics)."""
+        if pattern.n_vertices == 0:
+            return True
+        p_index = self.index_of(pattern)
+        t_index = self.index_of(target)
+        return bool(self._compact_embeddings(p_index, t_index, max_count=1))
+
+    def count_embeddings(
+        self, pattern: LabeledGraph, target: LabeledGraph, limit: int | None = None
+    ) -> int:
+        """Number of distinct embeddings of *pattern* in *target* (up to *limit*)."""
+        return len(self.find_embeddings(pattern, target, max_count=limit))
+
+    def non_overlapping_embeddings(
+        self,
+        pattern: LabeledGraph,
+        target: LabeledGraph,
+        max_count: int | None = None,
+    ) -> list[dict[VertexId, VertexId]]:
+        """Greedy set of vertex-disjoint embeddings of *pattern* in *target*."""
+        taken: set[VertexId] = set()
+        selected: list[dict[VertexId, VertexId]] = []
+        for mapping in self.find_embeddings(pattern, target):
+            image = set(mapping.values())
+            if image & taken:
+                continue
+            selected.append(mapping)
+            taken |= image
+            if max_count is not None and len(selected) >= max_count:
+                break
+        return selected
+
+    def are_isomorphic(self, first: LabeledGraph, second: LabeledGraph) -> bool:
+        """Exact label-preserving isomorphism between two graphs."""
+        if first.n_vertices != second.n_vertices or first.n_edges != second.n_edges:
+            return False
+        if first.n_vertices == 0:
+            return True
+        f_index = self.index_of(first)
+        s_index = self.index_of(second)
+        if f_index.vertex_label_hist != s_index.vertex_label_hist:
+            return False
+        if f_index.edge_label_hist != s_index.edge_label_hist:
+            return False
+        # Equal vertex and edge counts make any full embedding a bijection
+        # covering all edges, i.e. an isomorphism.
+        return bool(self._compact_embeddings(f_index, s_index, max_count=1))
+
+    def support(
+        self,
+        pattern: LabeledGraph,
+        tids: Iterable[int] | None = None,
+    ) -> frozenset[int]:
+        """Registered transactions (restricted to *tids*) containing *pattern*.
+
+        Verdicts are cached per ``(pattern canonical code, tid)`` so the
+        same pattern re-queried against the same transaction — e.g. across
+        FSG levels or mining repetitions — skips the search entirely.
+        """
+        p_index = self.index_of(pattern)
+        pattern_key = self._pattern_key(p_index)
+        scan = sorted(tids) if tids is not None else range(len(self._transactions))
+        supported: list[int] = []
+        transactions = self._transactions
+        entries = self._transaction_entries
+        verdicts = self._verdicts
+        stats = self.stats
+        cacheable = pattern_key is not _NO_KEY
+        for tid in scan:
+            target = transactions[tid]
+            if target is None:
+                raise KeyError(f"transaction {tid} has been released from this engine")
+            version = getattr(target, "_version", 0)
+            key = None
+            if cacheable:
+                key = (pattern_key, tid, version)
+                cached = verdicts.get(key)
+                if cached is not None:
+                    verdicts.move_to_end(key)
+                    stats.verdict_hits += 1
+                    if cached:
+                        supported.append(tid)
+                    continue
+                stats.verdict_misses += 1
+            entry = entries[tid]
+            if entry.version != version:
+                self.index_of(target)
+                entry = self._entries[target]
+                entries[tid] = entry
+            verdict = bool(self._compact_embeddings(p_index, entry.index, max_count=1))
+            if key is not None:
+                verdicts[key] = verdict
+                if len(verdicts) > self.verdict_cache_size:
+                    verdicts.popitem(last=False)
+            if verdict:
+                supported.append(tid)
+        return frozenset(supported)
+
+    def support_count(
+        self, pattern: LabeledGraph, tids: Iterable[int] | None = None
+    ) -> int:
+        """Number of registered transactions containing *pattern*."""
+        return len(self.support(pattern, tids))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _pattern_key(self, p_index: GraphIndex):
+        try:
+            return p_index.canonical()
+        except CanonicalizationError:
+            return _NO_KEY
+
+    def _compact_embeddings(
+        self,
+        p_index: GraphIndex,
+        t_index: GraphIndex,
+        max_count: int | None,
+    ) -> list[dict[int, int]]:
+        """Embeddings as compact-vertex mappings (the core VF2-style search)."""
+        pattern = p_index.compact
+        target = t_index.compact
+        if pattern.n_vertices == 0:
+            return [{}]
+        if not t_index.could_contain(p_index):
+            self.stats.early_rejects += 1
+            return []
+        self.stats.searches += 1
+
+        # Per pattern vertex: label/degree-bucket candidates from the index.
+        candidates: list[list[int]] = []
+        for p_vertex in range(pattern.n_vertices):
+            feasible = t_index.candidates(
+                pattern.vertex_labels[p_vertex],
+                len(pattern.out_adj[p_vertex]),
+                len(pattern.in_adj[p_vertex]),
+            )
+            if not feasible:
+                return []
+            candidates.append(feasible)
+
+        order = _matching_order(pattern, candidates)
+        position_of = {p_vertex: position for position, p_vertex in enumerate(order)}
+        # For each position, the pattern edges into already-placed vertices.
+        plans: list[tuple[int, list[tuple[int, int]], list[tuple[int, int]]]] = []
+        for position, p_vertex in enumerate(order):
+            out_req = [
+                (dst, lbl)
+                for dst, lbl in pattern.out_adj[p_vertex]
+                if position_of[dst] < position
+            ]
+            in_req = [
+                (src, lbl)
+                for src, lbl in pattern.in_adj[p_vertex]
+                if position_of[src] < position
+            ]
+            plans.append((p_vertex, out_req, in_req))
+
+        t_labels = target.vertex_labels
+        t_out = target.out_adj
+        t_in = target.in_adj
+        t_edge_label = target.edge_label_of
+        mapping: dict[int, int] = {}
+        used = bytearray(target.n_vertices)
+        results: list[dict[int, int]] = []
+
+        def pool_at(position: int) -> Iterable[int]:
+            """Candidate targets, driven by an already-placed neighbour when possible."""
+            p_vertex, out_req, in_req = plans[position]
+            if out_req:
+                dst, lbl = out_req[0]
+                anchor = mapping[dst]
+                pool = [src for src, edge_lbl in t_in[anchor] if edge_lbl == lbl]
+            elif in_req:
+                src, lbl = in_req[0]
+                anchor = mapping[src]
+                pool = [dst for dst, edge_lbl in t_out[anchor] if edge_lbl == lbl]
+            else:
+                return candidates[p_vertex]
+            p_label = pattern.vertex_labels[p_vertex]
+            min_out = len(pattern.out_adj[p_vertex])
+            min_in = len(pattern.in_adj[p_vertex])
+            return [
+                vertex
+                for vertex in pool
+                if t_labels[vertex] == p_label
+                and len(t_out[vertex]) >= min_out
+                and len(t_in[vertex]) >= min_in
+            ]
+
+        def backtrack(position: int) -> bool:
+            """Depth-first search; returns True when *max_count* is reached."""
+            if position == len(order):
+                results.append(dict(mapping))
+                return max_count is not None and len(results) >= max_count
+            p_vertex, out_req, in_req = plans[position]
+            for t_vertex in pool_at(position):
+                if used[t_vertex]:
+                    continue
+                ok = True
+                for dst, lbl in out_req:
+                    if t_edge_label.get((t_vertex, mapping[dst])) != lbl:
+                        ok = False
+                        break
+                if ok:
+                    for src, lbl in in_req:
+                        if t_edge_label.get((mapping[src], t_vertex)) != lbl:
+                            ok = False
+                            break
+                if not ok:
+                    continue
+                mapping[p_vertex] = t_vertex
+                used[t_vertex] = 1
+                done = backtrack(position + 1)
+                del mapping[p_vertex]
+                used[t_vertex] = 0
+                if done:
+                    return True
+            return False
+
+        backtrack(0)
+        return results
+
+
+def _matching_order(pattern: CompactGraph, candidates: list[list[int]]) -> list[int]:
+    """Rarest-candidates-first, frontier-extending order over pattern vertices."""
+    n = pattern.n_vertices
+    neighbours = [
+        {dst for dst, _ in pattern.out_adj[v]} | {src for src, _ in pattern.in_adj[v]}
+        for v in range(n)
+    ]
+    degree = [len(pattern.out_adj[v]) + len(pattern.in_adj[v]) for v in range(n)]
+    remaining = set(range(n))
+    in_order = [False] * n
+    order: list[int] = []
+
+    def rank(v: int) -> tuple[int, int, int]:
+        return (len(candidates[v]), -degree[v], v)
+
+    start = min(remaining, key=rank)
+    order.append(start)
+    in_order[start] = True
+    remaining.remove(start)
+    while remaining:
+        frontier = [v for v in remaining if any(in_order[n_] for n_ in neighbours[v])]
+        pool = frontier or sorted(remaining)
+        nxt = min(pool, key=rank)
+        order.append(nxt)
+        in_order[nxt] = True
+        remaining.remove(nxt)
+    return order
+
+
+_default_engine: MatchEngine | None = None
+
+
+def default_engine() -> MatchEngine:
+    """The process-wide engine behind the module-level isomorphism helpers."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = MatchEngine()
+    return _default_engine
+
+
+def reset_default_engine() -> None:
+    """Drop the process-wide engine (used by tests to isolate caches)."""
+    global _default_engine
+    _default_engine = None

@@ -6,18 +6,25 @@ FSG-style support counting additionally needs *subgraph* isomorphism: a
 pattern ``g`` occurs in a graph transaction ``t`` when ``g`` is isomorphic
 to some subgraph of ``t`` (labels included).
 
-The implementation is a VF2-style backtracking search specialised for the
-small patterns produced by the miners (typically under a dozen edges)
-matched against graph transactions of up to a few thousand edges.  The
-matching is *non-induced*: every pattern edge must map to a target edge
-with the same label, but the target may have extra edges among the mapped
-vertices.  This mirrors the occurrence semantics FSG uses.
+The module-level functions are thin wrappers delegating to the shared
+:class:`~repro.graphs.engine.MatchEngine` (see
+:func:`repro.graphs.engine.default_engine`), which matches on compact
+integer graphs with per-graph candidate indexes.  Existing call sites
+keep working unchanged and transparently benefit from the engine's
+caching.  The original dict-of-dicts backtracking search is retained as
+the ``legacy_*`` functions: they are the differential-testing oracle for
+the engine and the baseline for the kernel benchmarks.
+
+The matching is *non-induced*: every pattern edge must map to a target
+edge with the same label, but the target may have extra edges among the
+mapped vertices.  This mirrors the occurrence semantics FSG uses.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
+from repro.graphs.engine import default_engine
 from repro.graphs.labeled_graph import LabeledGraph, VertexId
 
 
@@ -119,12 +126,12 @@ def _search(
     yield from backtrack(0)
 
 
-def find_embeddings(
+def legacy_find_embeddings(
     pattern: LabeledGraph,
     target: LabeledGraph,
     max_count: int | None = None,
 ) -> list[dict[VertexId, VertexId]]:
-    """All (or the first *max_count*) embeddings of *pattern* in *target*.
+    """The original dict-of-dicts backtracking search (differential oracle).
 
     An embedding is an injective mapping from pattern vertices to target
     vertices preserving vertex labels and mapping every pattern edge onto a
@@ -146,29 +153,20 @@ def find_embeddings(
     return found
 
 
-def find_embedding(pattern: LabeledGraph, target: LabeledGraph) -> dict[VertexId, VertexId] | None:
-    """The first embedding of *pattern* in *target*, or ``None``."""
-    embeddings = find_embeddings(pattern, target, max_count=1)
-    return embeddings[0] if embeddings else None
+def legacy_has_embedding(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+    """Legacy occurrence check (differential oracle for the engine)."""
+    return bool(legacy_find_embeddings(pattern, target, max_count=1))
 
 
-def has_embedding(pattern: LabeledGraph, target: LabeledGraph) -> bool:
-    """Whether *pattern* occurs in *target* (FSG occurrence semantics)."""
-    return find_embedding(pattern, target) is not None
+def legacy_count_embeddings(
+    pattern: LabeledGraph, target: LabeledGraph, limit: int | None = None
+) -> int:
+    """Legacy embedding count (differential oracle for the engine)."""
+    return len(legacy_find_embeddings(pattern, target, max_count=limit))
 
 
-def count_embeddings(pattern: LabeledGraph, target: LabeledGraph, limit: int | None = None) -> int:
-    """Number of distinct embeddings of *pattern* in *target* (up to *limit*)."""
-    return len(find_embeddings(pattern, target, max_count=limit))
-
-
-def are_isomorphic(first: LabeledGraph, second: LabeledGraph) -> bool:
-    """Exact label-preserving isomorphism between two graphs (Section 4).
-
-    Two graphs are isomorphic when a bijection between their vertices
-    preserves vertex labels and induces a bijection between their edges
-    that preserves edge labels.
-    """
+def legacy_are_isomorphic(first: LabeledGraph, second: LabeledGraph) -> bool:
+    """Legacy exact isomorphism check (differential oracle for the engine)."""
     if first.n_vertices != second.n_vertices or first.n_edges != second.n_edges:
         return False
     if first.vertex_label_counts() != second.vertex_label_counts():
@@ -178,7 +176,65 @@ def are_isomorphic(first: LabeledGraph, second: LabeledGraph) -> bool:
     # Because the vertex counts and edge counts match, any full embedding of
     # ``first`` into ``second`` is necessarily a bijection covering all
     # edges, i.e. an isomorphism.
-    return has_embedding(first, second)
+    return legacy_has_embedding(first, second)
+
+
+def legacy_non_overlapping_embeddings(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    max_count: int | None = None,
+) -> list[dict[VertexId, VertexId]]:
+    """Legacy greedy vertex-disjoint embedding selection."""
+    taken: set[VertexId] = set()
+    selected: list[dict[VertexId, VertexId]] = []
+    for mapping in legacy_find_embeddings(pattern, target):
+        image = set(mapping.values())
+        if image & taken:
+            continue
+        selected.append(mapping)
+        taken |= image
+        if max_count is not None and len(selected) >= max_count:
+            break
+    return selected
+
+
+def find_embeddings(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    max_count: int | None = None,
+) -> list[dict[VertexId, VertexId]]:
+    """All (or the first *max_count*) embeddings of *pattern* in *target*.
+
+    An embedding is an injective mapping from pattern vertices to target
+    vertices preserving vertex labels and mapping every pattern edge onto a
+    target edge with the same label.
+    """
+    return default_engine().find_embeddings(pattern, target, max_count=max_count)
+
+
+def find_embedding(pattern: LabeledGraph, target: LabeledGraph) -> dict[VertexId, VertexId] | None:
+    """The first embedding of *pattern* in *target*, or ``None``."""
+    return default_engine().find_embedding(pattern, target)
+
+
+def has_embedding(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+    """Whether *pattern* occurs in *target* (FSG occurrence semantics)."""
+    return default_engine().has_embedding(pattern, target)
+
+
+def count_embeddings(pattern: LabeledGraph, target: LabeledGraph, limit: int | None = None) -> int:
+    """Number of distinct embeddings of *pattern* in *target* (up to *limit*)."""
+    return default_engine().count_embeddings(pattern, target, limit=limit)
+
+
+def are_isomorphic(first: LabeledGraph, second: LabeledGraph) -> bool:
+    """Exact label-preserving isomorphism between two graphs (Section 4).
+
+    Two graphs are isomorphic when a bijection between their vertices
+    preserves vertex labels and induces a bijection between their edges
+    that preserves edge labels.
+    """
+    return default_engine().are_isomorphic(first, second)
 
 
 def non_overlapping_embeddings(
@@ -192,14 +248,4 @@ def non_overlapping_embeddings(
     all its experiments disallowed overlapping patterns); this helper
     selects embeddings greedily so no target vertex is reused.
     """
-    taken: set[VertexId] = set()
-    selected: list[dict[VertexId, VertexId]] = []
-    for mapping in find_embeddings(pattern, target):
-        image = set(mapping.values())
-        if image & taken:
-            continue
-        selected.append(mapping)
-        taken |= image
-        if max_count is not None and len(selected) >= max_count:
-            break
-    return selected
+    return default_engine().non_overlapping_embeddings(pattern, target, max_count=max_count)

@@ -52,6 +52,10 @@ class LabeledGraph:
         self._vertex_labels: dict[VertexId, Label] = {}
         self._succ: dict[VertexId, dict[VertexId, Label]] = {}
         self._pred: dict[VertexId, dict[VertexId, Label]] = {}
+        # Mutation counter: bumped by every structural or label change so
+        # external caches (e.g. the match engine's per-graph indexes) can
+        # detect staleness without hashing the whole graph.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -61,6 +65,7 @@ class LabeledGraph:
         self._vertex_labels[vertex] = label
         self._succ.setdefault(vertex, {})
         self._pred.setdefault(vertex, {})
+        self._version += 1
 
     def add_edge(self, source: VertexId, target: VertexId, label: Label = "") -> None:
         """Add a directed edge, creating missing endpoints with empty labels.
@@ -74,11 +79,13 @@ class LabeledGraph:
             self.add_vertex(target)
         self._succ[source][target] = label
         self._pred[target][source] = label
+        self._version += 1
 
     def remove_edge(self, source: VertexId, target: VertexId) -> None:
         """Remove the edge ``source -> target``; raises ``KeyError`` if absent."""
         del self._succ[source][target]
         del self._pred[target][source]
+        self._version += 1
 
     def remove_vertex(self, vertex: VertexId) -> None:
         """Remove a vertex and every incident edge."""
@@ -89,6 +96,7 @@ class LabeledGraph:
         self._succ.pop(vertex, None)
         self._pred.pop(vertex, None)
         self._vertex_labels.pop(vertex, None)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Inspection
@@ -219,6 +227,7 @@ class LabeledGraph:
         for vertex in clone.vertices():
             if vertex in mapping:
                 clone._vertex_labels[vertex] = mapping[vertex]
+        clone._version += 1
         return clone
 
     def with_uniform_vertex_labels(self, label: Label = "place") -> "LabeledGraph":
@@ -226,6 +235,7 @@ class LabeledGraph:
         clone = self.copy()
         for vertex in list(clone.vertices()):
             clone._vertex_labels[vertex] = label
+        clone._version += 1
         return clone
 
     # ------------------------------------------------------------------
@@ -282,6 +292,10 @@ class LabeledMultiGraph:
         self.name = name
         self._vertex_labels: dict[VertexId, Label] = {}
         self._edges: dict[tuple[VertexId, VertexId], list[Label]] = {}
+        # Per-vertex adjacency maintained alongside _edges so degree queries
+        # are O(1) lookups instead of O(E) scans over all edge pairs.
+        self._out_neighbours: dict[VertexId, set[VertexId]] = {}
+        self._in_neighbours: dict[VertexId, set[VertexId]] = {}
 
     def add_vertex(self, vertex: VertexId, label: Label = "") -> None:
         """Add a vertex (idempotent; re-adding updates the label)."""
@@ -294,6 +308,8 @@ class LabeledMultiGraph:
         if target not in self._vertex_labels:
             self.add_vertex(target)
         self._edges.setdefault((source, target), []).append(label)
+        self._out_neighbours.setdefault(source, set()).add(target)
+        self._in_neighbours.setdefault(target, set()).add(source)
 
     @property
     def n_vertices(self) -> int:
@@ -330,11 +346,11 @@ class LabeledMultiGraph:
 
     def out_degree(self, vertex: VertexId) -> int:
         """Number of distinct destinations reachable from *vertex*."""
-        return sum(1 for (source, _target) in self._edges if source == vertex)
+        return len(self._out_neighbours.get(vertex, ()))
 
     def in_degree(self, vertex: VertexId) -> int:
         """Number of distinct origins shipping into *vertex*."""
-        return sum(1 for (_source, target) in self._edges if target == vertex)
+        return len(self._in_neighbours.get(vertex, ()))
 
     def simplify(self, label_choice: str = "most_common") -> LabeledGraph:
         """Collapse parallel edges into a simple :class:`LabeledGraph`.

@@ -12,9 +12,13 @@ non-bridging edge (or a spanning-tree leaf edge), extending all frequent
 k-patterns enumerates every potentially frequent (k+1)-pattern; the
 Apriori principle then guarantees completeness.
 
-Candidates are deduplicated up to label-preserving isomorphism using the
-cheap :func:`~repro.graphs.canonical.graph_invariant` fingerprint with an
-exact isomorphism check inside each fingerprint bucket.
+Candidates are deduplicated up to label-preserving isomorphism.  With a
+:class:`~repro.graphs.engine.MatchEngine` the grouping key is the exact
+:func:`~repro.graphs.canonical.canonical_code`; patterns too symmetric to
+canonicalise (:class:`~repro.graphs.canonical.CanonicalizationError`)
+fall back to the cheap :func:`~repro.graphs.canonical.graph_invariant`
+fingerprint with an exact isomorphism check inside each fingerprint
+bucket — the same scheme the engine-less path always uses.
 """
 
 from __future__ import annotations
@@ -22,7 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
 
-from repro.graphs.canonical import graph_invariant
+from repro.graphs.canonical import CanonicalizationError, graph_invariant
+from repro.graphs.engine import MatchEngine
 from repro.graphs.isomorphism import are_isomorphic
 from repro.graphs.labeled_graph import LabeledGraph
 
@@ -38,9 +43,11 @@ class Candidate:
     parent_tids: frozenset[int]
     invariant: str = field(default="")
 
-    def __post_init__(self) -> None:
+    def fingerprint(self) -> str:
+        """The pattern's cheap isomorphism-invariant key, computed lazily."""
         if not self.invariant:
             self.invariant = graph_invariant(self.pattern)
+        return self.invariant
 
 
 def single_edge_pattern(source_label: Hashable, edge_label: Hashable, target_label: Hashable) -> LabeledGraph:
@@ -133,18 +140,29 @@ def extend_pattern(
     return extensions
 
 
-def deduplicate(candidates: Iterable[Candidate]) -> list[Candidate]:
+def deduplicate(
+    candidates: Iterable[Candidate],
+    engine: MatchEngine | None = None,
+) -> list[Candidate]:
     """Merge isomorphic candidates, unioning their parent transaction sets.
 
-    Candidates are grouped by the cheap graph invariant; an exact
-    isomorphism check resolves collisions within a group so the result
-    contains one representative per isomorphism class.
+    Candidates are grouped into invariant buckets in first-seen order (the
+    emission order downstream consumers — and the paper examples' printed
+    representatives — depend on, so both paths preserve it).  Within a
+    bucket, equality of isomorphism classes is decided by the exact
+    canonical code when *engine* is given: one memoized code computation
+    per representative instead of a backtracking isomorphism search per
+    pair.  Candidates whose canonicalisation overflows
+    (:class:`CanonicalizationError`) fall back to the exact isomorphism
+    check; isomorphic graphs have identical colour-class sizes, so a
+    pattern either canonicalises for its whole isomorphism class or falls
+    back for all of it — the two schemes never disagree.
     """
     buckets: dict[str, list[Candidate]] = {}
     for candidate in candidates:
-        bucket = buckets.setdefault(candidate.invariant, [])
+        bucket = buckets.setdefault(candidate.fingerprint(), [])
         for existing in bucket:
-            if are_isomorphic(existing.pattern, candidate.pattern):
+            if _same_class(existing.pattern, candidate.pattern, engine):
                 existing.parent_tids = existing.parent_tids | candidate.parent_tids
                 break
         else:
@@ -155,9 +173,20 @@ def deduplicate(candidates: Iterable[Candidate]) -> list[Candidate]:
     return unique
 
 
+def _same_class(first: LabeledGraph, second: LabeledGraph, engine: MatchEngine | None) -> bool:
+    """Whether two patterns are isomorphic, via canonical codes when possible."""
+    if engine is not None:
+        try:
+            return engine.canonical_code(first) == engine.canonical_code(second)
+        except CanonicalizationError:
+            return engine.are_isomorphic(first, second)
+    return are_isomorphic(first, second)
+
+
 def generate_candidates(
     frequent_patterns: Sequence[Candidate],
     frequent_triples: Iterable[EdgeTriple],
+    engine: MatchEngine | None = None,
 ) -> list[Candidate]:
     """Generate deduplicated (k+1)-edge candidates from frequent k-edge patterns."""
     triples = list(frequent_triples)
@@ -165,4 +194,4 @@ def generate_candidates(
     for parent in frequent_patterns:
         for extended in extend_pattern(parent.pattern, triples):
             raw.append(Candidate(pattern=extended, parent_tids=parent.parent_tids))
-    return deduplicate(raw)
+    return deduplicate(raw, engine=engine)

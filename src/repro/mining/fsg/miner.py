@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.graphs.engine import MatchEngine
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.mining.fsg.candidates import (
     Candidate,
@@ -68,6 +69,12 @@ class FSGMiner:
     min_pattern_edges:
         Smallest pattern size to report.  The paper reports single-edge
         patterns too, so the default is 1.
+    engine:
+        The :class:`~repro.graphs.engine.MatchEngine` to count support
+        through.  ``None`` (the default) creates a private engine per
+        :meth:`mine` call; passing a shared engine lets repeated runs
+        (e.g. the repeated-partitioning structural miner) reuse one label
+        table and verdict cache across mining rounds.
     """
 
     min_support: float | int = 0.05
@@ -75,11 +82,33 @@ class FSGMiner:
     memory_budget: int | None = None
     abort_on_budget: bool = True
     min_pattern_edges: int = 1
+    engine: MatchEngine | None = None
 
     def mine(self, transactions: Sequence[LabeledGraph]) -> FSGResult:
         """Mine all frequent connected subgraphs from *transactions*."""
         n_transactions = len(transactions)
         support_threshold = _resolve_min_support(self.min_support, n_transactions)
+        engine = self.engine if self.engine is not None else MatchEngine()
+        engine_tids = engine.add_transactions(transactions)
+        tid_base = engine_tids[0] if engine_tids else 0
+        try:
+            return self._mine_levels(
+                transactions, support_threshold, engine, tid_base, n_transactions
+            )
+        finally:
+            # A shared engine keeps serving after this run; drop this run's
+            # transaction references so it does not retain every graph ever
+            # mined (fresh tids per run make cross-run verdict reuse moot).
+            engine.release_transactions(engine_tids)
+
+    def _mine_levels(
+        self,
+        transactions: Sequence[LabeledGraph],
+        support_threshold: int,
+        engine: MatchEngine,
+        tid_base: int,
+        n_transactions: int,
+    ) -> FSGResult:
         result = FSGResult(
             n_transactions=n_transactions,
             min_support=support_threshold,
@@ -106,7 +135,7 @@ class FSGMiner:
                 Candidate(pattern=candidate.pattern, parent_tids=tids, invariant=candidate.invariant)
                 for candidate, tids in level_patterns
             ]
-            candidates = generate_candidates(parents, frequent_triples)
+            candidates = generate_candidates(parents, frequent_triples, engine=engine)
             result.candidates_generated += len(candidates)
             if self.memory_budget is not None and len(candidates) > self.memory_budget:
                 if self.abort_on_budget:
@@ -117,7 +146,13 @@ class FSGMiner:
                     f"exceeded the memory budget of {self.memory_budget}"
                 )
                 break
-            level_patterns = prune_infrequent(candidates, transactions, support_threshold)
+            level_patterns = prune_infrequent(
+                candidates,
+                transactions,
+                support_threshold,
+                engine=engine,
+                tid_offset=tid_base,
+            )
             level += 1
             if level_patterns:
                 self._record_level(result, level_patterns, level=level)

@@ -7,12 +7,20 @@ candidate produced by extending a parent pattern can only occur in
 transactions that supported the parent, so only those are scanned.  This
 is the standard Apriori optimisation and keeps the isomorphism workload
 proportional to the surviving candidates.
+
+When a :class:`~repro.graphs.engine.MatchEngine` holding the indexed
+transactions is supplied, the isomorphism checks run through it: the
+per-transaction candidate indexes are reused across every candidate at
+every level, invariant mismatches are rejected before any search, and
+repeat (pattern, transaction) verdicts come from the engine's LRU.
+Without an engine the original per-call path is used.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.graphs.engine import MatchEngine
 from repro.graphs.isomorphism import has_embedding
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.mining.fsg.candidates import Candidate
@@ -22,12 +30,26 @@ def supporting_transactions(
     candidate: Candidate,
     transactions: Sequence[LabeledGraph],
     restrict_to_parent_tids: bool = True,
+    engine: MatchEngine | None = None,
+    tid_offset: int = 0,
 ) -> frozenset[int]:
-    """The ids of transactions containing the candidate pattern."""
+    """The ids of transactions containing the candidate pattern.
+
+    With *engine*, ``transactions[i]`` must be the engine's registered
+    transaction ``tid_offset + i`` (a shared engine keeps registering
+    across mining rounds, so local indices are offset into its global tid
+    space) and matching goes through the engine's indexed, cached path.
+    The returned ids are always local indices into *transactions*.
+    """
     if restrict_to_parent_tids:
         tids_to_scan = sorted(candidate.parent_tids)
     else:
         tids_to_scan = range(len(transactions))
+    if engine is not None:
+        supported_global = engine.support(
+            candidate.pattern, (tid + tid_offset for tid in tids_to_scan)
+        )
+        return frozenset(tid - tid_offset for tid in supported_global)
     supported = {
         tid
         for tid in tids_to_scan
@@ -40,15 +62,23 @@ def count_support(
     candidate: Candidate,
     transactions: Sequence[LabeledGraph],
     restrict_to_parent_tids: bool = True,
+    engine: MatchEngine | None = None,
+    tid_offset: int = 0,
 ) -> int:
     """Number of transactions containing the candidate pattern."""
-    return len(supporting_transactions(candidate, transactions, restrict_to_parent_tids))
+    return len(
+        supporting_transactions(
+            candidate, transactions, restrict_to_parent_tids, engine, tid_offset
+        )
+    )
 
 
 def prune_infrequent(
     candidates: Sequence[Candidate],
     transactions: Sequence[LabeledGraph],
     min_support: int,
+    engine: MatchEngine | None = None,
+    tid_offset: int = 0,
 ) -> list[tuple[Candidate, frozenset[int]]]:
     """Keep candidates whose support meets the threshold.
 
@@ -57,7 +87,9 @@ def prune_infrequent(
     """
     surviving: list[tuple[Candidate, frozenset[int]]] = []
     for candidate in candidates:
-        tids = supporting_transactions(candidate, transactions)
+        tids = supporting_transactions(
+            candidate, transactions, engine=engine, tid_offset=tid_offset
+        )
         if len(tids) >= min_support:
             surviving.append((candidate, tids))
     return surviving

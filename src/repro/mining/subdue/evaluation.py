@@ -21,11 +21,33 @@ import enum
 import math
 from typing import Sequence
 
+from repro.graphs.engine import MatchEngine
 from repro.graphs.isomorphism import has_embedding
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.mining.subdue.compression import compress_instances
 from repro.mining.subdue.mdl import description_length, graph_size
 from repro.mining.subdue.substructure import Substructure, select_non_overlapping
+
+
+def _host_label_counts(
+    host: LabeledGraph, engine: MatchEngine | None
+) -> tuple[int, int]:
+    """(#vertex labels, #edge labels) of *host*, from the engine index if any.
+
+    The host's label alphabet is fixed for a whole mining run, so reading
+    it off the precomputed index avoids an O(V + E) recount per candidate
+    evaluation.
+    """
+    if engine is not None:
+        index = engine.index_of(host)
+        return (
+            max(1, len(index.vertex_label_hist)),
+            max(1, len(index.edge_label_hist)),
+        )
+    return (
+        max(1, len(host.vertex_label_counts())),
+        max(1, len(host.edge_label_counts())),
+    )
 
 
 def _compression_stats(host: LabeledGraph, substructure: Substructure) -> dict[str, object]:
@@ -70,7 +92,11 @@ class EvaluationPrinciple(str, enum.Enum):
         return self.value
 
 
-def mdl_value(host: LabeledGraph, substructure: Substructure) -> float:
+def mdl_value(
+    host: LabeledGraph,
+    substructure: Substructure,
+    engine: MatchEngine | None = None,
+) -> float:
     """MDL compression value of *substructure* against *host*.
 
     The description of the compressed graph alone is not lossless: to
@@ -84,8 +110,7 @@ def mdl_value(host: LabeledGraph, substructure: Substructure) -> float:
     ignores reconstruction overhead — rewards the largest substructure
     that still repeats.
     """
-    n_vertex_labels = max(1, len(host.vertex_label_counts()))
-    n_edge_labels = max(1, len(host.edge_label_counts()))
+    n_vertex_labels, n_edge_labels = _host_label_counts(host, engine)
     original = description_length(host, n_vertex_labels, n_edge_labels)
     sub_dl = description_length(substructure.pattern, n_vertex_labels, n_edge_labels)
     stats = _compression_stats(host, substructure)
@@ -126,16 +151,18 @@ def set_cover_value(
     substructure: Substructure,
     positive_examples: Sequence[LabeledGraph],
     negative_examples: Sequence[LabeledGraph],
+    engine: MatchEngine | None = None,
 ) -> float:
     """Set-Cover value: positives containing S plus negatives not containing S, over all examples."""
     total = len(positive_examples) + len(negative_examples)
     if total == 0:
         raise ValueError("set-cover evaluation needs at least one example graph")
+    occurs = engine.has_embedding if engine is not None else has_embedding
     covered_positives = sum(
-        1 for example in positive_examples if has_embedding(substructure.pattern, example)
+        1 for example in positive_examples if occurs(substructure.pattern, example)
     )
     excluded_negatives = sum(
-        1 for example in negative_examples if not has_embedding(substructure.pattern, example)
+        1 for example in negative_examples if not occurs(substructure.pattern, example)
     )
     return (covered_positives + excluded_negatives) / total
 
@@ -146,12 +173,15 @@ def evaluate(
     principle: EvaluationPrinciple,
     positive_examples: Sequence[LabeledGraph] | None = None,
     negative_examples: Sequence[LabeledGraph] | None = None,
+    engine: MatchEngine | None = None,
 ) -> float:
     """Score *substructure* under the chosen principle."""
     if principle is EvaluationPrinciple.MDL:
-        return mdl_value(host, substructure)
+        return mdl_value(host, substructure, engine=engine)
     if principle is EvaluationPrinciple.SIZE:
         return size_value(host, substructure)
     if principle is EvaluationPrinciple.SET_COVER:
-        return set_cover_value(substructure, positive_examples or [], negative_examples or [])
+        return set_cover_value(
+            substructure, positive_examples or [], negative_examples or [], engine=engine
+        )
     raise ValueError(f"unknown evaluation principle: {principle}")

@@ -10,6 +10,7 @@ edge density.
 
 from __future__ import annotations
 
+from repro.graphs.engine import MatchEngine
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.mining.subdue.substructure import (
     Instance,
@@ -18,15 +19,30 @@ from repro.mining.subdue.substructure import (
 )
 
 
-def initial_substructures(host: LabeledGraph) -> list[Substructure]:
+def initial_substructures(
+    host: LabeledGraph, engine: MatchEngine | None = None
+) -> list[Substructure]:
     """One single-vertex substructure per distinct vertex label.
 
     Each substructure's instances are all host vertices carrying that
-    label; these seed the beam search.
+    label; these seed the beam search.  With *engine*, the seed vertex
+    groups come straight from the host index's label buckets instead of a
+    fresh scan.
     """
     by_label: dict[object, list[Instance]] = {}
-    for vertex in host.vertices():
-        by_label.setdefault(host.vertex_label(vertex), []).append(Instance.from_vertex(vertex))
+    if engine is not None:
+        index = engine.index_of(host)
+        compact = index.compact
+        for label_id, bucket in index.by_label.items():
+            label = compact.table.label(label_id)
+            by_label[label] = [
+                Instance.from_vertex(compact.vertex_ids[vertex]) for vertex in bucket
+            ]
+    else:
+        for vertex in host.vertices():
+            by_label.setdefault(host.vertex_label(vertex), []).append(
+                Instance.from_vertex(vertex)
+            )
     substructures: list[Substructure] = []
     for label, instances in by_label.items():
         pattern = LabeledGraph(name=f"seed-{label}")
@@ -52,7 +68,11 @@ def expand_instance(host: LabeledGraph, instance: Instance) -> list[Instance]:
     return extensions
 
 
-def expand_substructure(host: LabeledGraph, substructure: Substructure) -> list[Substructure]:
+def expand_substructure(
+    host: LabeledGraph,
+    substructure: Substructure,
+    engine: MatchEngine | None = None,
+) -> list[Substructure]:
     """Expand every instance by one edge and re-group by pattern.
 
     Duplicate instances (identical edge sets reached from different parent
@@ -64,4 +84,4 @@ def expand_substructure(host: LabeledGraph, substructure: Substructure) -> list[
             extended[(new_instance.vertices, new_instance.edges)] = new_instance
     if not extended:
         return []
-    return group_instances_by_pattern(host, list(extended.values()))
+    return group_instances_by_pattern(host, list(extended.values()), engine=engine)

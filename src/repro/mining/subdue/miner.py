@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.graphs.engine import MatchEngine
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.mining.subdue.compression import compress_graph
 from repro.mining.subdue.evaluation import EvaluationPrinciple, evaluate
@@ -70,12 +71,20 @@ class SubdueMiner:
     principle: EvaluationPrinciple = EvaluationPrinciple.MDL
     min_instances: int = 2
     max_instances: int | None = 2_000
+    engine: MatchEngine | None = None
 
     def mine(self, host: LabeledGraph) -> SubdueResult:
-        """Discover the best substructures of *host*."""
+        """Discover the best substructures of *host*.
+
+        The host is indexed once through the match engine (the miner's, or
+        a private one) and every beam step — seeding, instance grouping,
+        candidate evaluation — reuses that index instead of re-deriving
+        label buckets and histograms per candidate.
+        """
         start = time.perf_counter()
+        engine = self.engine if self.engine is not None else MatchEngine()
         result = SubdueResult(principle=self.principle)
-        frontier = initial_substructures(host)
+        frontier = initial_substructures(host, engine=engine)
         best: list[Substructure] = []
         evaluated = 0
 
@@ -87,7 +96,7 @@ class SubdueMiner:
                     and parent.pattern.n_edges >= self.max_substructure_edges
                 ):
                     continue
-                expanded.extend(expand_substructure(host, parent))
+                expanded.extend(expand_substructure(host, parent, engine=engine))
             if not expanded:
                 break
 
@@ -99,7 +108,7 @@ class SubdueMiner:
                     candidate.instances = candidate.instances[: self.max_instances]
                 if candidate.n_non_overlapping < self.min_instances:
                     continue
-                candidate.value = evaluate(host, candidate, self.principle)
+                candidate.value = evaluate(host, candidate, self.principle, engine=engine)
                 evaluated += 1
                 scored.append(candidate)
                 if self.limit is not None and evaluated >= self.limit:

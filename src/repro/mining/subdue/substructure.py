@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.graphs.canonical import graph_invariant
+from repro.graphs.engine import MatchEngine
 from repro.graphs.isomorphism import are_isomorphic
 from repro.graphs.labeled_graph import Edge, LabeledGraph, VertexId
 
@@ -110,20 +111,30 @@ class Substructure:
         )
 
 
-def group_instances_by_pattern(host: LabeledGraph, instances: list[Instance]) -> list[Substructure]:
+def group_instances_by_pattern(
+    host: LabeledGraph,
+    instances: list[Instance],
+    engine: MatchEngine | None = None,
+) -> list[Substructure]:
     """Group raw instances into substructures by pattern isomorphism.
 
     Instances whose induced patterns are isomorphic (labels included)
     belong to the same substructure.  Grouping uses the cheap invariant
-    with exact isomorphism confirmation inside each bucket.
+    with exact isomorphism confirmation inside each bucket; with
+    *engine*, the confirmation runs through its indexed kernel, so each
+    bucket representative is compacted once and reused for every
+    comparison against it.  The invariant itself is always computed
+    directly: instance patterns are fresh one-shot objects, so routing
+    them through the engine's per-graph memoization would only add
+    compaction overhead with no reuse.
     """
+    isomorphic = engine.are_isomorphic if engine is not None else are_isomorphic
     buckets: dict[str, list[tuple[LabeledGraph, list[Instance]]]] = {}
     for instance in instances:
         pattern = instance_pattern(host, instance)
-        key = graph_invariant(pattern)
-        bucket = buckets.setdefault(key, [])
+        bucket = buckets.setdefault(graph_invariant(pattern), [])
         for existing_pattern, existing_instances in bucket:
-            if are_isomorphic(existing_pattern, pattern):
+            if isomorphic(existing_pattern, pattern):
                 existing_instances.append(instance)
                 break
         else:

@@ -14,8 +14,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.graphs.canonical import graph_invariant
-from repro.graphs.isomorphism import are_isomorphic
+from repro.graphs.engine import MatchEngine
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.mining.fsg.miner import FSGMiner
 from repro.mining.fsg.results import FSGResult, FrequentSubgraph
@@ -64,21 +63,27 @@ class StructuralMiningResult:
         return sum(self.per_repetition_counts) / len(self.per_repetition_counts)
 
 
-def _merge_patterns(target: list[FrequentSubgraph], new_patterns: list[FrequentSubgraph]) -> None:
+def _merge_patterns(
+    target: list[FrequentSubgraph],
+    new_patterns: list[FrequentSubgraph],
+    engine: MatchEngine,
+) -> None:
     """Union new patterns into *target*, deduplicating up to isomorphism.
 
     When the same pattern appears in several repetitions the maximum
-    observed support is kept.
+    observed support is kept.  Invariants and isomorphism checks run
+    through the shared *engine*, so patterns accumulated in earlier
+    repetitions keep their memoized fingerprints and indexes.
     """
     index: dict[str, list[int]] = {}
     for position, existing in enumerate(target):
-        index.setdefault(graph_invariant(existing.pattern), []).append(position)
+        index.setdefault(engine.graph_invariant(existing.pattern), []).append(position)
     for pattern in new_patterns:
-        key = graph_invariant(pattern.pattern)
+        key = engine.graph_invariant(pattern.pattern)
         merged = False
         for position in index.get(key, []):
             existing = target[position]
-            if are_isomorphic(existing.pattern, pattern.pattern):
+            if engine.are_isomorphic(existing.pattern, pattern.pattern):
                 if pattern.support > existing.support:
                     target[position] = pattern
                 merged = True
@@ -91,17 +96,25 @@ def _merge_patterns(target: list[FrequentSubgraph], new_patterns: list[FrequentS
 def mine_single_graph(
     graph: LabeledGraph,
     config: StructuralMiningConfig | None = None,
+    engine: MatchEngine | None = None,
 ) -> StructuralMiningResult:
-    """Run Algorithm 1 on *graph* and return the union of frequent patterns."""
+    """Run Algorithm 1 on *graph* and return the union of frequent patterns.
+
+    One :class:`MatchEngine` (a private one unless *engine* is given)
+    serves every repetition: the label table, per-pattern canonical codes,
+    and cross-repetition pattern merging all share its caches.
+    """
     settings = config or StructuralMiningConfig()
     if settings.repetitions < 1:
         raise ValueError("repetitions must be at least 1")
+    shared_engine = engine if engine is not None else MatchEngine()
     rng = random.Random(settings.seed)
     miner = FSGMiner(
         min_support=settings.min_support,
         max_edges=settings.max_pattern_edges,
         memory_budget=settings.memory_budget,
         min_pattern_edges=settings.min_pattern_edges,
+        engine=shared_engine,
     )
     result = StructuralMiningResult()
     for _ in range(settings.repetitions):
@@ -109,5 +122,5 @@ def mine_single_graph(
         mined = miner.mine(partitions)
         result.per_repetition_results.append(mined)
         result.per_repetition_counts.append(len(mined.patterns))
-        _merge_patterns(result.patterns, mined.patterns)
+        _merge_patterns(result.patterns, mined.patterns, shared_engine)
     return result

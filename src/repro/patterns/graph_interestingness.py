@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.graphs.isomorphism import has_embedding
+from repro.graphs.engine import MatchEngine, default_engine
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.graphs.motifs import MotifShape, classify_shape
 from repro.mining.fsg.candidates import edge_triples
@@ -128,18 +128,25 @@ def score_patterns(
     return scored
 
 
-def maximal_patterns(patterns: Sequence[FrequentSubgraph]) -> list[FrequentSubgraph]:
+def maximal_patterns(
+    patterns: Sequence[FrequentSubgraph],
+    engine: MatchEngine | None = None,
+) -> list[FrequentSubgraph]:
     """Keep only patterns not contained in any other frequent pattern.
 
     A pattern is dropped when some other (larger) pattern in the result has
     an embedding of it; ties on equal size are kept.  This is the maximal
-    -pattern filter the paper points to for taming trivial output.
+    -pattern filter the paper points to for taming trivial output.  The
+    all-pairs containment checks run through *engine* (the shared default
+    when omitted), so every pattern is indexed once for the whole sweep.
     """
+    matcher = engine if engine is not None else default_engine()
     ordered = sorted(patterns, key=lambda p: p.n_edges, reverse=True)
     kept: list[FrequentSubgraph] = []
     for candidate in ordered:
         contained = any(
-            other.n_edges > candidate.n_edges and has_embedding(candidate.pattern, other.pattern)
+            other.n_edges > candidate.n_edges
+            and matcher.has_embedding(candidate.pattern, other.pattern)
             for other in kept
         )
         if not contained:

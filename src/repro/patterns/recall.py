@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.graphs.isomorphism import are_isomorphic, has_embedding
+from repro.graphs.engine import MatchEngine, default_engine
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.mining.fsg.results import FrequentSubgraph
 from repro.patterns.planted import PlantedPattern
@@ -57,6 +57,7 @@ def measure_recall(
     ground_truth: Sequence[PlantedPattern],
     mined: Sequence[FrequentSubgraph | LabeledGraph],
     partial_fraction: float = 0.5,
+    engine: MatchEngine | None = None,
 ) -> RecallReport:
     """Measure recall of *ground_truth* patterns among *mined* patterns.
 
@@ -64,16 +65,20 @@ def measure_recall(
     it or contains it entirely; it is *partially recovered* when a mined
     pattern matches a connected piece covering at least ``partial_fraction``
     of its edges (approximated by edge-count comparison of mined patterns
-    embedded inside the planted pattern).
+    embedded inside the planted pattern).  Containment checks run through
+    *engine* (the shared default when omitted), so each planted and mined
+    pattern is indexed once for the whole all-pairs comparison.
     """
     if not 0.0 < partial_fraction <= 1.0:
         raise ValueError("partial_fraction must be in (0, 1]")
+    matcher = engine if engine is not None else default_engine()
     mined_graphs = _mined_graphs(mined)
     report = RecallReport(n_mined_patterns=len(mined_graphs))
     for planted in ground_truth:
         target = planted.pattern
         exact = any(
-            are_isomorphic(target, candidate) or has_embedding(target, candidate)
+            matcher.are_isomorphic(target, candidate)
+            or matcher.has_embedding(target, candidate)
             for candidate in mined_graphs
         )
         if exact:
@@ -81,7 +86,7 @@ def measure_recall(
             continue
         threshold_edges = max(1, int(round(partial_fraction * target.n_edges)))
         partial = any(
-            candidate.n_edges >= threshold_edges and has_embedding(candidate, target)
+            candidate.n_edges >= threshold_edges and matcher.has_embedding(candidate, target)
             for candidate in mined_graphs
         )
         if partial:

@@ -1,0 +1,288 @@
+"""Differential tests: the indexed MatchEngine against the legacy pure-python path.
+
+The engine must be a drop-in replacement for the original dict-of-dicts
+backtracking matcher: on randomized labeled graphs, embedding sets,
+isomorphism verdicts, and support counts have to agree exactly.  The
+legacy implementations are kept in :mod:`repro.graphs.isomorphism` as the
+``legacy_*`` functions precisely so these tests have an oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.canonical import CanonicalizationError, canonical_code
+from repro.graphs.compact import CompactGraph, LabelTable
+from repro.graphs.engine import MatchEngine
+from repro.graphs.index import GraphIndex
+from repro.graphs.isomorphism import (
+    legacy_are_isomorphic,
+    legacy_find_embeddings,
+    legacy_has_embedding,
+)
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.mining.fsg.candidates import Candidate, deduplicate
+
+
+def _random_graph(
+    rng: random.Random,
+    n_vertices: int,
+    n_edges: int,
+    n_vertex_labels: int = 3,
+    n_edge_labels: int = 3,
+    prefix: str = "v",
+) -> LabeledGraph:
+    graph = LabeledGraph(name="random")
+    for index in range(n_vertices):
+        graph.add_vertex(f"{prefix}{index}", f"L{rng.randrange(n_vertex_labels)}")
+    vertices = [f"{prefix}{i}" for i in range(n_vertices)]
+    if n_vertices < 2:
+        return graph
+    for _ in range(n_edges * 3):
+        if graph.n_edges >= n_edges:
+            break
+        source, target = rng.sample(vertices, 2)
+        if not graph.has_edge(source, target):
+            graph.add_edge(source, target, f"e{rng.randrange(n_edge_labels)}")
+    return graph
+
+
+def _random_pattern(rng: random.Random, target: LabeledGraph, n_edges: int) -> LabeledGraph:
+    """A small pattern grown from a random connected piece of *target*."""
+    edges = list(target.edges())
+    rng.shuffle(edges)
+    if not edges:
+        return LabeledGraph(name="empty-pattern")
+    chosen = [edges[0]]
+    covered = {edges[0].source, edges[0].target}
+    for edge in edges[1:]:
+        if len(chosen) >= n_edges:
+            break
+        if edge.source in covered or edge.target in covered:
+            chosen.append(edge)
+            covered.update((edge.source, edge.target))
+    pattern = LabeledGraph(name="sampled-pattern")
+    renamed = {vertex: f"p{index}" for index, vertex in enumerate(sorted(covered, key=str))}
+    for vertex in covered:
+        pattern.add_vertex(renamed[vertex], target.vertex_label(vertex))
+    for edge in chosen:
+        pattern.add_edge(renamed[edge.source], renamed[edge.target], edge.label)
+    return pattern
+
+
+def _embedding_set(mappings: list[dict]) -> set[frozenset]:
+    return {frozenset(mapping.items()) for mapping in mappings}
+
+
+class TestDifferentialEmbeddings:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_embedding_sets_match_legacy(self, seed):
+        rng = random.Random(seed)
+        engine = MatchEngine()
+        target = _random_graph(rng, n_vertices=rng.randint(5, 14), n_edges=rng.randint(4, 24))
+        for trial in range(4):
+            pattern = _random_pattern(rng, target, n_edges=rng.randint(1, 4))
+            expected = _embedding_set(legacy_find_embeddings(pattern, target))
+            actual = _embedding_set(engine.find_embeddings(pattern, target))
+            assert actual == expected
+
+    @pytest.mark.parametrize("seed", range(12, 20))
+    def test_unrelated_pattern_verdicts_match_legacy(self, seed):
+        rng = random.Random(seed)
+        engine = MatchEngine()
+        target = _random_graph(rng, n_vertices=10, n_edges=15)
+        for trial in range(6):
+            pattern = _random_graph(
+                rng, n_vertices=rng.randint(2, 4), n_edges=rng.randint(1, 4), prefix="q"
+            )
+            assert engine.has_embedding(pattern, target) == legacy_has_embedding(pattern, target)
+
+    def test_empty_pattern_and_empty_target(self):
+        engine = MatchEngine()
+        empty = LabeledGraph()
+        target = _random_graph(random.Random(1), 5, 6)
+        assert engine.find_embeddings(empty, target) == [{}]
+        assert engine.has_embedding(empty, empty)
+        assert engine.find_embeddings(target, empty) == []
+
+    def test_max_count_limits_results(self):
+        rng = random.Random(3)
+        engine = MatchEngine()
+        target = _random_graph(rng, 10, 20, n_vertex_labels=1, n_edge_labels=1)
+        pattern = _random_pattern(rng, target, 1)
+        limited = engine.find_embeddings(pattern, target, max_count=2)
+        assert len(limited) == 2
+
+
+class TestDifferentialIsomorphism:
+    @pytest.mark.parametrize("seed", range(20, 32))
+    def test_verdicts_match_legacy(self, seed):
+        rng = random.Random(seed)
+        engine = MatchEngine()
+        first = _random_graph(rng, rng.randint(3, 8), rng.randint(2, 10))
+        # A structure-preserving rename of `first` (always isomorphic).
+        renamed = LabeledGraph(name="renamed")
+        for vertex in first.vertices():
+            renamed.add_vertex(("moved", vertex), first.vertex_label(vertex))
+        for edge in first.edges():
+            renamed.add_edge(("moved", edge.source), ("moved", edge.target), edge.label)
+        # An independent random graph (usually not isomorphic).
+        other = _random_graph(rng, rng.randint(3, 8), rng.randint(2, 10), prefix="w")
+        for left, right in [(first, renamed), (first, other), (renamed, other)]:
+            assert engine.are_isomorphic(left, right) == legacy_are_isomorphic(left, right)
+
+
+class TestDifferentialSupport:
+    @pytest.mark.parametrize("seed", range(32, 38))
+    def test_support_matches_legacy_scan(self, seed):
+        rng = random.Random(seed)
+        engine = MatchEngine()
+        transactions = [
+            _random_graph(rng, rng.randint(4, 10), rng.randint(3, 14), prefix=f"t{i}_")
+            for i in range(12)
+        ]
+        engine.add_transactions(transactions)
+        pattern = _random_pattern(rng, transactions[rng.randrange(len(transactions))], 2)
+        expected = frozenset(
+            tid
+            for tid, transaction in enumerate(transactions)
+            if legacy_has_embedding(pattern, transaction)
+        )
+        assert engine.support(pattern) == expected
+        restricted = sorted(expected)[: max(1, len(expected) // 2)]
+        assert engine.support(pattern, restricted) == frozenset(restricted) & expected
+
+    def test_verdict_cache_hits_on_repeat_queries(self):
+        rng = random.Random(99)
+        engine = MatchEngine()
+        transactions = [_random_graph(rng, 8, 12, prefix=f"t{i}_") for i in range(10)]
+        engine.add_transactions(transactions)
+        pattern = _random_pattern(rng, transactions[0], 2)
+        first = engine.support(pattern)
+        misses = engine.stats.verdict_misses
+        second = engine.support(pattern)
+        assert second == first
+        assert engine.stats.verdict_misses == misses  # all answered from cache
+        assert engine.stats.verdict_hits >= len(transactions)
+
+    def test_released_transactions_free_slots_but_keep_tids(self):
+        rng = random.Random(5)
+        engine = MatchEngine()
+        first_batch = [_random_graph(rng, 6, 8, prefix=f"a{i}_") for i in range(4)]
+        tids = engine.add_transactions(first_batch)
+        pattern = _random_pattern(rng, first_batch[0], 1)
+        engine.support(pattern)
+        engine.release_transactions(tids)
+        with pytest.raises(KeyError):
+            engine.support(pattern, tids)
+        with pytest.raises(KeyError):
+            engine.transaction(tids[0])
+        # New registrations get fresh tids after the released slots.
+        second_batch = [_random_graph(rng, 6, 8, prefix=f"b{i}_") for i in range(2)]
+        new_tids = engine.add_transactions(second_batch)
+        assert min(new_tids) > max(tids)
+        assert engine.support(pattern, new_tids) == frozenset(
+            tid
+            for tid, transaction in zip(new_tids, second_batch)
+            if legacy_has_embedding(pattern, transaction)
+        )
+
+    def test_mutated_graph_is_reindexed(self):
+        engine = MatchEngine()
+        target = LabeledGraph()
+        target.add_vertex("a", "L")
+        target.add_vertex("b", "L")
+        target.add_edge("a", "b", "e")
+        pattern = LabeledGraph()
+        pattern.add_vertex("p0", "L")
+        pattern.add_vertex("p1", "L")
+        pattern.add_edge("p0", "p1", "x")
+        assert not engine.has_embedding(pattern, target)
+        target.add_edge("a", "b", "x")  # overwrite the label; bumps the version
+        assert engine.has_embedding(pattern, target)
+
+
+class TestCompactRoundTrip:
+    @pytest.mark.parametrize("seed", range(40, 46))
+    def test_lossless_conversion(self, seed):
+        rng = random.Random(seed)
+        graph = _random_graph(rng, rng.randint(0, 9), rng.randint(0, 12))
+        table = LabelTable()
+        compact = CompactGraph.from_labeled(graph, table)
+        rebuilt = compact.to_labeled()
+        assert set(rebuilt.vertices()) == set(graph.vertices())
+        assert {v: rebuilt.vertex_label(v) for v in rebuilt.vertices()} == {
+            v: graph.vertex_label(v) for v in graph.vertices()
+        }
+        assert set(rebuilt.edges()) == set(graph.edges())
+
+    def test_shared_table_interning(self):
+        table = LabelTable()
+        first = table.intern("A")
+        assert table.intern("A") == first
+        assert table.lookup("missing") is None
+        assert table.label(first) == "A"
+
+
+class TestIndexMemoization:
+    def test_invariant_and_code_memoized(self):
+        rng = random.Random(7)
+        graph = _random_graph(rng, 5, 6)
+        index = GraphIndex(CompactGraph.from_labeled(graph, LabelTable()))
+        assert index.invariant() is index.invariant()
+        assert index.canonical() == canonical_code(graph)
+
+    def test_canonicalization_error_memoized(self):
+        hub = LabeledGraph()
+        hub.add_vertex("h", "hub")
+        for spoke in range(9):
+            hub.add_vertex(f"s{spoke}", "spoke")
+            hub.add_edge("h", f"s{spoke}", "e")
+        index = GraphIndex(CompactGraph.from_labeled(hub, LabelTable()))
+        with pytest.raises(CanonicalizationError):
+            index.canonical()
+        with pytest.raises(CanonicalizationError):
+            index.canonical()  # second probe reuses the memoized failure
+
+
+class TestSymmetricDeduplication:
+    def _symmetric_star(self, prefix: str) -> LabeledGraph:
+        """A 9-spoke uniform star: 9! colour orderings defeat canonicalisation."""
+        star = LabeledGraph(name=f"{prefix}-star")
+        star.add_vertex(f"{prefix}h", "hub")
+        for spoke in range(9):
+            star.add_vertex(f"{prefix}s{spoke}", "spoke")
+            star.add_edge(f"{prefix}h", f"{prefix}s{spoke}", "e")
+        return star
+
+    def test_dedup_survives_canonicalization_error(self):
+        engine = MatchEngine()
+        first = self._symmetric_star("a")
+        second = self._symmetric_star("b")
+        with pytest.raises(CanonicalizationError):
+            engine.canonical_code(first)
+        merged = deduplicate(
+            [
+                Candidate(pattern=first, parent_tids=frozenset({0})),
+                Candidate(pattern=second, parent_tids=frozenset({1})),
+            ],
+            engine=engine,
+        )
+        assert len(merged) == 1
+        assert merged[0].parent_tids == frozenset({0, 1})
+
+    def test_dedup_keeps_nonisomorphic_symmetric_patterns(self):
+        engine = MatchEngine()
+        star = self._symmetric_star("a")
+        other = self._symmetric_star("b")
+        other.add_edge("bs0", "bs1", "x")  # break isomorphism, keep symmetry high
+        merged = deduplicate(
+            [
+                Candidate(pattern=star, parent_tids=frozenset({0})),
+                Candidate(pattern=other, parent_tids=frozenset({1})),
+            ],
+            engine=engine,
+        )
+        assert len(merged) == 2
