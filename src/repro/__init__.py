@@ -42,6 +42,7 @@ from repro.mining.fsg.miner import FSGMiner, mine_frequent_subgraphs
 from repro.mining.subdue.miner import SubdueMiner
 from repro.partitioning.split_graph import PartitionStrategy, split_graph
 from repro.partitioning.structural import StructuralMiningConfig, mine_single_graph
+from repro.runtime import MiningRuntime, SerialRuntime, ShardedEngine, create_runtime
 
 __version__ = "1.0.0"
 
@@ -71,5 +72,9 @@ __all__ = [
     "split_graph",
     "StructuralMiningConfig",
     "mine_single_graph",
+    "MiningRuntime",
+    "SerialRuntime",
+    "ShardedEngine",
+    "create_runtime",
     "__version__",
 ]

@@ -67,6 +67,13 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.03,
                         help="synthetic dataset scale (1.0 = the paper's full size; default 0.03)")
     parser.add_argument("--seed", type=int, default=20050405, help="generator seed")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker shards for the parallel mining runtime "
+                             "(0/1 = serial; >= 2 shards support counting across "
+                             "that many processes; default: $REPRO_WORKERS or serial)")
+    parser.add_argument("--backend", choices=["process", "serial"], default=None,
+                        help="sharded-runtime backend when --workers >= 2 "
+                             "(default: $REPRO_BACKEND or 'process')")
     parser.add_argument("--output", type=Path, default=None,
                         help="also append the rendered comparisons to this file")
 
@@ -86,7 +93,13 @@ def _run_experiments(experiment_ids: Sequence[str], args, stream) -> int:
         print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
-    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    try:
+        config = ExperimentConfig(
+            scale=args.scale, seed=args.seed, workers=args.workers, backend=args.backend
+        )
+    except ValueError as error:
+        print(f"invalid configuration: {error}", file=sys.stderr)
+        return 2
     chunks: list[str] = []
     for experiment_id in experiment_ids:
         driver = ALL_EXPERIMENTS[experiment_id]

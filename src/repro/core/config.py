@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.datasets.binning import BinningScheme, default_binning_scheme
 from repro.datasets.generator import GeneratorConfig, TransportationDataGenerator
 from repro.datasets.schema import TransactionDataset
+from repro.runtime import resolve_backend, resolve_workers
 
 
 @dataclass
@@ -30,6 +31,15 @@ class ExperimentConfig:
         Seed for the synthetic data generator.
     weight_bins, hour_bins, distance_bins:
         Edge-label binning granularity (paper: 7 weight bins, 10 hour bins).
+    workers:
+        Worker count for the parallel mining runtime used by the
+        graph-mining experiments.  ``0`` / ``1`` mean the serial backend;
+        ``>= 2`` shards support counting across that many workers.
+        ``None`` defers to the ``REPRO_WORKERS`` environment variable
+        (default serial).  Parallelism never changes mining output.
+    backend:
+        Sharded-runtime backend (``"process"`` or ``"serial"``); ``None``
+        defers to ``REPRO_BACKEND`` (default ``"process"``).
     """
 
     scale: float = 0.05
@@ -37,7 +47,15 @@ class ExperimentConfig:
     weight_bins: int = 7
     hour_bins: int = 10
     distance_bins: int = 10
+    workers: int | None = None
+    backend: str | None = None
     _dataset_cache: TransactionDataset | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        # Fail fast on bad knobs rather than deep inside a mining run; the
+        # actual resolution happens where runtimes are built.
+        resolve_workers(self.workers)
+        resolve_backend(self.backend)
 
     def binning(self) -> BinningScheme:
         """The binning scheme implied by the configuration."""

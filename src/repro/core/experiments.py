@@ -246,6 +246,8 @@ def experiment_fig2_fig3_fsg_partitioning(
                 strategy=strategy,
                 max_pattern_edges=max_pattern_edges,
                 seed=config.seed + paper_k,
+                workers=config.workers,
+                backend=config.backend,
             )
             result = mine_single_graph(graph, mining_config)
             pattern_counts[strategy.value][paper_k] = result.average_patterns_per_repetition
@@ -317,6 +319,8 @@ def experiment_footnote2_recall(
             strategy=strategy,
             max_pattern_edges=3,
             seed=config.seed,
+            workers=config.workers,
+            backend=config.backend,
         )
         result = mine_single_graph(planted.graph, mining_config)
         recall_report = measure_recall(planted.ground_truth, result.patterns)
@@ -414,6 +418,8 @@ def experiment_table3_fig4_temporal_fsg(
         max_vertex_labels=vertex_label_filter,
         max_pattern_edges=4,
         use_interval_labels=True,
+        workers=config.workers,
+        backend=config.backend,
     )
     outcome = pipeline.run(dataset)
     largest = outcome.mining.largest()

@@ -36,6 +36,7 @@ from repro.mining.transactional import (
     numeric_matrix,
 )
 from repro.partitioning.split_graph import PartitionStrategy
+from repro.runtime import MiningRuntime, SerialRuntime, create_runtime, resolve_workers
 from repro.partitioning.structural import (
     StructuralMiningConfig,
     StructuralMiningResult,
@@ -52,6 +53,26 @@ from repro.partitioning.temporal import (
 from repro.patterns.matching import ShapeSummary, summarize_shapes
 
 
+def _resolve_runtime(
+    runtime: MiningRuntime | None,
+    workers: int | None,
+    backend: str | None,
+    engine: MatchEngine,
+) -> tuple[MiningRuntime, bool]:
+    """The runtime a pipeline run should mine through.
+
+    Returns ``(runtime, created)``; a runtime built here (from the
+    ``workers`` knob, or the serial default over *engine*) is flagged so
+    the pipeline closes it when the run is done, while a caller-supplied
+    runtime is left alone.
+    """
+    if runtime is not None:
+        return runtime, False
+    if resolve_workers(workers) > 1:
+        return create_runtime(workers=workers, backend=backend), True
+    return SerialRuntime(engine=engine), True
+
+
 # ----------------------------------------------------------------------
 # Structural mining (Section 5)
 # ----------------------------------------------------------------------
@@ -62,7 +83,10 @@ class StructuralMiningPipeline:
     The pipeline owns one :class:`~repro.graphs.engine.MatchEngine` (or
     accepts a caller-supplied one) and threads it through partition mining
     so every repetition shares the same label table, graph indexes, and
-    verdict cache.
+    verdict cache.  ``workers`` (or a caller-supplied ``runtime``) spreads
+    support counting across shard workers; the mined patterns are
+    identical whatever the worker count, and the outcome's
+    ``engine_stats`` aggregates the matching counters across every shard.
     """
 
     edge_attribute: str = "GROSS_WEIGHT"
@@ -74,6 +98,9 @@ class StructuralMiningPipeline:
     max_pattern_edges: int | None = 5
     seed: int = 17
     engine: MatchEngine | None = None
+    workers: int | None = None
+    backend: str | None = None
+    runtime: MiningRuntime | None = None
 
     def run(self, dataset: TransactionDataset) -> "StructuralMiningOutcome":
         """Run the pipeline on *dataset*."""
@@ -92,10 +119,20 @@ class StructuralMiningPipeline:
             max_pattern_edges=self.max_pattern_edges,
             seed=self.seed,
         )
-        mining = mine_single_graph(graph, config, engine=engine)
+        runtime, created = _resolve_runtime(self.runtime, self.workers, self.backend, engine)
+        try:
+            mining = mine_single_graph(graph, config, engine=engine, runtime=runtime)
+            engine_stats = runtime.stats()
+        finally:
+            if created:
+                runtime.close()
         shapes = summarize_shapes(mining.patterns)
         return StructuralMiningOutcome(
-            graph_name=graph.name, mining=mining, shapes=shapes, engine=engine
+            graph_name=graph.name,
+            mining=mining,
+            shapes=shapes,
+            engine=engine,
+            engine_stats=engine_stats,
         )
 
 
@@ -107,6 +144,7 @@ class StructuralMiningOutcome:
     mining: StructuralMiningResult
     shapes: ShapeSummary
     engine: MatchEngine | None = None
+    engine_stats: dict[str, int] | None = None
 
 
 # ----------------------------------------------------------------------
@@ -124,6 +162,9 @@ class TemporalMiningPipeline:
     memory_budget: int | None = None
     use_interval_labels: bool = False
     engine: MatchEngine | None = None
+    workers: int | None = None
+    backend: str | None = None
+    runtime: MiningRuntime | None = None
 
     def run(self, dataset: TransactionDataset) -> "TemporalMiningOutcome":
         """Run the pipeline on *dataset*."""
@@ -142,13 +183,20 @@ class TemporalMiningPipeline:
             max_vertex_labels=self.max_vertex_labels,
         )
         prepared_summary = summarize_transactions(prepared) if prepared else None
-        miner = FSGMiner(
-            min_support=self.min_support,
-            max_edges=self.max_pattern_edges,
-            memory_budget=self.memory_budget,
-            engine=engine,
-        )
-        mining = miner.mine(graphs_of(prepared)) if prepared else FSGResult()
+        runtime, created = _resolve_runtime(self.runtime, self.workers, self.backend, engine)
+        try:
+            miner = FSGMiner(
+                min_support=self.min_support,
+                max_edges=self.max_pattern_edges,
+                memory_budget=self.memory_budget,
+                engine=engine,
+                runtime=runtime,
+            )
+            mining = miner.mine(graphs_of(prepared)) if prepared else FSGResult()
+            engine_stats = runtime.stats()
+        finally:
+            if created:
+                runtime.close()
         shapes = summarize_shapes(mining.patterns)
         return TemporalMiningOutcome(
             raw_transactions=raw,
@@ -158,6 +206,7 @@ class TemporalMiningPipeline:
             mining=mining,
             shapes=shapes,
             engine=engine,
+            engine_stats=engine_stats,
         )
 
 
@@ -172,6 +221,7 @@ class TemporalMiningOutcome:
     mining: FSGResult
     shapes: ShapeSummary
     engine: MatchEngine | None = None
+    engine_stats: dict[str, int] | None = None
 
 
 # ----------------------------------------------------------------------

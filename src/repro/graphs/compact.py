@@ -47,6 +47,41 @@ class LabelTable:
         self._labels.append(label)
         return new_id
 
+    def snapshot(self, start: int = 0) -> list[Hashable]:
+        """The labels interned since position *start*, in id order.
+
+        The table is append-only, so ``snapshot(n)`` is exactly the delta a
+        replica that has already seen the first ``n`` entries needs in
+        order to catch up (see :meth:`extend`).  Shipping deltas is how the
+        parallel runtime keeps worker-side label ids identical to the
+        parent's without ever re-interning label objects.
+        """
+        return self._labels[start:]
+
+    def extend(self, labels: Sequence[Hashable]) -> None:
+        """Append *labels* in order, replicating another table's tail.
+
+        Ids are assigned sequentially, so extending a replica with the
+        parent's :meth:`snapshot` delta keeps the two tables id-compatible.
+        Labels already present raise: that means the replica diverged.
+        """
+        for label in labels:
+            if label in self._ids:
+                raise ValueError(
+                    f"label {label!r} already interned; replica table diverged"
+                )
+            self._ids[label] = len(self._labels)
+            self._labels.append(label)
+
+    def __getstate__(self) -> tuple[list[Hashable]]:
+        # A 1-tuple, never the bare list: an empty state would be falsy and
+        # pickle would skip __setstate__, leaving the slots unset.
+        return (self._labels,)
+
+    def __setstate__(self, state: tuple[list[Hashable]]) -> None:
+        self._labels = list(state[0])
+        self._ids = {label: index for index, label in enumerate(self._labels)}
+
     def lookup(self, label: Hashable) -> int | None:
         """The id of *label*, or ``None`` if it was never interned.
 
@@ -149,6 +184,41 @@ class CompactGraph:
             vertex_ids=vertex_ids,
             table=table,
         )
+
+    def to_wire(self) -> tuple:
+        """The graph's table-free integer form, ready for cheap pickling.
+
+        The wire tuple carries only dense integers (plus the name and the
+        original vertex identifiers) — no :class:`LabelTable` reference —
+        so shipping a graph to a worker process costs bytes proportional
+        to the graph, not to the corpus vocabulary.  The receiver passes a
+        table whose ids match the sender's (kept in sync via
+        :meth:`LabelTable.snapshot` / :meth:`LabelTable.extend`) to
+        :meth:`from_wire`; labels are never re-interned.
+        """
+        edges = [
+            (source, target, label_id)
+            for (source, target), label_id in self.edge_label_of.items()
+        ]
+        return (self.name, self.vertex_labels, edges, self.vertex_ids)
+
+    @classmethod
+    def from_wire(cls, wire: tuple, table: LabelTable) -> "CompactGraph":
+        """Rebuild a graph from :meth:`to_wire` output against *table*."""
+        name, vertex_labels, edges, vertex_ids = wire
+        return cls(
+            name=name,
+            vertex_labels=vertex_labels,
+            edges=edges,
+            vertex_ids=vertex_ids,
+            table=table,
+        )
+
+    def __reduce__(self):
+        # Rebuild via __init__ from the wire tuple; the shared table rides
+        # along (pickle deduplicates it when several graphs share one).
+        name, vertex_labels, edges, vertex_ids = self.to_wire()
+        return (CompactGraph, (name, vertex_labels, edges, vertex_ids, self.table))
 
     def to_labeled(self) -> LabeledGraph:
         """Reconstruct the original :class:`LabeledGraph` (lossless inverse)."""

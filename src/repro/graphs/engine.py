@@ -57,6 +57,20 @@ class EngineStats:
     early_rejects: int = 0
     verdict_hits: int = 0
     verdict_misses: int = 0
+    batch_calls: int = 0
+    batch_patterns: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain-dict snapshot (stable keys, safe to ship across processes)."""
+        return {
+            "indexes_built": self.indexes_built,
+            "searches": self.searches,
+            "early_rejects": self.early_rejects,
+            "verdict_hits": self.verdict_hits,
+            "verdict_misses": self.verdict_misses,
+            "batch_calls": self.batch_calls,
+            "batch_patterns": self.batch_patterns,
+        }
 
 
 class _Entry:
@@ -65,6 +79,17 @@ class _Entry:
     def __init__(self, version: int, index: GraphIndex) -> None:
         self.version = version
         self.index = index
+
+
+class _BatchedPattern:
+    """Per-pattern state hoisted out of the transaction scan of a batch."""
+
+    __slots__ = ("index", "key", "plans")
+
+    def __init__(self, index: GraphIndex) -> None:
+        self.index = index
+        self.key: object = _NO_KEY
+        self.plans: _Plan | None = None
 
 
 class MatchEngine:
@@ -81,12 +106,20 @@ class MatchEngine:
         self._entries: "weakref.WeakKeyDictionary[LabeledGraph, _Entry]" = (
             weakref.WeakKeyDictionary()
         )
-        self._transactions: list[LabeledGraph | None] = []
+        self._transactions: list[LabeledGraph | CompactGraph | None] = []
         # Parallel to _transactions: their index entries, bypassing the
         # weak dictionary on the per-tid hot path of support().  A None
         # in either list marks a released tid.
         self._transaction_entries: list[_Entry | None] = []
         self._verdicts: OrderedDict[tuple, bool] = OrderedDict()
+        # Inverted edge-triple index over *compact* (immutable) registered
+        # transactions: triple -> tids containing it.  Lets batch_support
+        # reject whole transactions per pattern with set intersections
+        # instead of per-(pattern, tid) could_contain calls.  Mutable
+        # LabeledGraph transactions are deliberately excluded — their
+        # triple sets can change after registration.
+        self._compact_tids: set[int] = set()
+        self._triple_tids: dict[tuple[int, int, int], set[int]] = {}
 
     # ------------------------------------------------------------------
     # Indexing
@@ -128,6 +161,32 @@ class MatchEngine:
             tids.append(tid)
         return tids
 
+    def add_compact_transactions(self, compacts: Iterable[CompactGraph]) -> list[int]:
+        """Register already-compacted transactions; returns their tids.
+
+        This is the runtime workers' registration path: the parent ships
+        :class:`CompactGraph` wire forms interned through a table replica
+        of this engine's table, so no label is ever re-interned and no
+        :class:`LabeledGraph` is reconstructed.  Compact graphs are
+        immutable, so their entries never go stale.
+        """
+        tids: list[int] = []
+        for compact in compacts:
+            if compact.table is not self.table:
+                raise ValueError(
+                    "compact transaction was interned through a different label table"
+                )
+            tid = len(self._transactions)
+            self._transactions.append(compact)
+            index = GraphIndex(compact)
+            self._transaction_entries.append(_Entry(0, index))
+            self.stats.indexes_built += 1
+            self._compact_tids.add(tid)
+            for triple in index.triples:
+                self._triple_tids.setdefault(triple, set()).add(tid)
+            tids.append(tid)
+        return tids
+
     def release_transactions(self, tids: Iterable[int]) -> None:
         """Drop the strong references held for *tids*.
 
@@ -139,6 +198,14 @@ class MatchEngine:
         gets fresh tids.  Querying a released tid raises.
         """
         for tid in tids:
+            if tid in self._compact_tids:
+                entry = self._transaction_entries[tid]
+                if entry is not None:
+                    for triple in entry.index.triples:
+                        bucket = self._triple_tids.get(triple)
+                        if bucket is not None:
+                            bucket.discard(tid)
+                self._compact_tids.discard(tid)
             self._transactions[tid] = None
             self._transaction_entries[tid] = None
 
@@ -147,8 +214,12 @@ class MatchEngine:
         """Number of transaction slots (including released ones)."""
         return len(self._transactions)
 
-    def transaction(self, tid: int) -> LabeledGraph:
-        """The registered transaction with id *tid*; raises if released."""
+    def transaction(self, tid: int) -> LabeledGraph | CompactGraph:
+        """The registered transaction with id *tid*; raises if released.
+
+        Transactions registered through :meth:`add_compact_transactions`
+        come back in compact form.
+        """
         transaction = self._transactions[tid]
         if transaction is None:
             raise KeyError(f"transaction {tid} has been released from this engine")
@@ -293,6 +364,182 @@ class MatchEngine:
         """Number of registered transactions containing *pattern*."""
         return len(self.support(pattern, tids))
 
+    def batch_support(
+        self,
+        patterns: Sequence[LabeledGraph | CompactGraph],
+        tid_lists: Sequence[Iterable[int]] | None = None,
+        pattern_keys: Sequence[object] | None = None,
+    ) -> list[frozenset[int]]:
+        """Supports of a whole pattern batch, one pass over the transactions.
+
+        ``tid_lists[i]`` restricts pattern ``i`` to those registered
+        transactions (``None`` scans every live transaction for every
+        pattern).  The scan is transaction-major: each transaction's index
+        entry is resolved once for the whole batch and its candidate
+        buckets are filtered once per distinct ``(label, min-out, min-in)``
+        requirement instead of once per pattern, and each pattern's
+        matching order and edge-requirement plan is computed once instead
+        of once per transaction.  Verdicts use the same
+        ``(pattern canonical code, tid, version)`` LRU as :meth:`support`,
+        so the two paths are interchangeable and return identical sets.
+
+        Patterns may be given in compact form (the runtime workers' wire
+        format); their labels must have been interned through this
+        engine's table.  ``pattern_keys[i]``, when given, supplies pattern
+        ``i``'s verdict-cache key precomputed elsewhere (a canonical-code
+        string, or ``False`` for "canonicalisation fails, don't cache");
+        ``None`` entries are computed here.  Canonical codes are the most
+        expensive per-pattern setup, so a parent that already memoized
+        them (candidate dedup does) should always pass them along rather
+        than have every shard recompute them.
+        """
+        batched = [_BatchedPattern(self._index_of_any(pattern)) for pattern in patterns]
+        if pattern_keys is not None and len(pattern_keys) != len(batched):
+            raise ValueError("pattern_keys must align with patterns")
+        for position, info in enumerate(batched):
+            provided = pattern_keys[position] if pattern_keys is not None else None
+            if provided is None:
+                info.key = self._pattern_key(info.index)
+            elif provided is False:
+                info.key = _NO_KEY
+            else:
+                info.key = provided
+        self.stats.batch_calls += 1
+        self.stats.batch_patterns += len(batched)
+
+        if tid_lists is None:
+            live = [
+                tid
+                for tid, transaction in enumerate(self._transactions)
+                if transaction is not None
+            ]
+            tid_lists = [live] * len(batched)
+        elif len(tid_lists) != len(batched):
+            raise ValueError("tid_lists must align with patterns")
+
+        per_tid: dict[int, list[int]] = {}
+        compact_tids = self._compact_tids
+        stats = self.stats
+        for position, tids in enumerate(tid_lists):
+            tids = list(tids)
+            # Whole-transaction rejection via the inverted triple index:
+            # one set intersection per pattern replaces a could_contain
+            # call per (pattern, compact transaction) pair.
+            allowed = self._triple_filter(batched[position].index)
+            if allowed is not None and compact_tids:
+                kept = [
+                    tid for tid in tids if tid not in compact_tids or tid in allowed
+                ]
+                stats.early_rejects += len(tids) - len(kept)
+                tids = kept
+            for tid in tids:
+                per_tid.setdefault(tid, []).append(position)
+
+        supported: list[list[int]] = [[] for _ in batched]
+        transactions = self._transactions
+        entries = self._transaction_entries
+        verdicts = self._verdicts
+        for tid in sorted(per_tid):
+            target = transactions[tid]
+            if target is None:
+                raise KeyError(f"transaction {tid} has been released from this engine")
+            version = getattr(target, "_version", 0)
+            entry = entries[tid]
+            if entry.version != version:
+                self.index_of(target)
+                entry = self._entries[target]
+                entries[tid] = entry
+            t_index = entry.index
+            candidate_cache: dict[tuple[int, int, int], list[int]] = {}
+            for position in per_tid[tid]:
+                info = batched[position]
+                key = None
+                if info.key is not _NO_KEY:
+                    key = (info.key, tid, version)
+                    cached = verdicts.get(key)
+                    if cached is not None:
+                        verdicts.move_to_end(key)
+                        stats.verdict_hits += 1
+                        if cached:
+                            supported[position].append(tid)
+                        continue
+                    stats.verdict_misses += 1
+                verdict = self._batched_exists(info, t_index, candidate_cache)
+                if key is not None:
+                    verdicts[key] = verdict
+                    if len(verdicts) > self.verdict_cache_size:
+                        verdicts.popitem(last=False)
+                if verdict:
+                    supported[position].append(tid)
+        return [frozenset(tids) for tids in supported]
+
+    def _triple_filter(self, p_index: GraphIndex):
+        """Compact tids that contain every edge triple of the pattern.
+
+        ``None`` disables the filter (edgeless pattern).  The result only
+        speaks for compact-registered transactions; mutable ones must
+        still go through per-pair ``could_contain``.
+        """
+        triples = p_index.triples
+        if not triples:
+            return None
+        allowed = None
+        for triple in triples:
+            bucket = self._triple_tids.get(triple)
+            if not bucket:
+                return frozenset()
+            allowed = bucket if allowed is None else allowed & bucket
+        return allowed
+
+    def _batched_exists(
+        self,
+        info: "_BatchedPattern",
+        t_index: GraphIndex,
+        candidate_cache: dict[tuple[int, int, int], list[int]],
+    ) -> bool:
+        """Existence check for one batched pattern against one transaction."""
+        pattern = info.index.compact
+        if pattern.n_vertices == 0:
+            return True
+        if not t_index.could_contain(info.index):
+            self.stats.early_rejects += 1
+            return False
+        candidates: list[list[int]] = []
+        for p_vertex in range(pattern.n_vertices):
+            requirement = (
+                pattern.vertex_labels[p_vertex],
+                len(pattern.out_adj[p_vertex]),
+                len(pattern.in_adj[p_vertex]),
+            )
+            feasible = candidate_cache.get(requirement)
+            if feasible is None:
+                feasible = t_index.candidates(*requirement)
+                candidate_cache[requirement] = feasible
+            if not feasible:
+                return False
+            candidates.append(feasible)
+        self.stats.searches += 1
+        if info.plans is None:
+            info.plans = _plans_for(pattern, _static_matching_order(pattern))
+        return bool(_search(pattern, t_index.compact, info.plans, candidates, max_count=1))
+
+    def _index_of_any(self, pattern: LabeledGraph | CompactGraph | GraphIndex) -> GraphIndex:
+        """An index for *pattern* whatever form it arrives in."""
+        if isinstance(pattern, GraphIndex):
+            return pattern
+        if isinstance(pattern, CompactGraph):
+            if pattern.table is not self.table:
+                raise ValueError(
+                    "compact pattern was interned through a different label table"
+                )
+            self.stats.indexes_built += 1
+            return GraphIndex(pattern)
+        return self.index_of(pattern)
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """A plain-dict snapshot of the engine's cache/search counters."""
+        return self.stats.as_dict()
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -330,87 +577,147 @@ class MatchEngine:
                 return []
             candidates.append(feasible)
 
-        order = _matching_order(pattern, candidates)
-        position_of = {p_vertex: position for position, p_vertex in enumerate(order)}
-        # For each position, the pattern edges into already-placed vertices.
-        plans: list[tuple[int, list[tuple[int, int]], list[tuple[int, int]]]] = []
-        for position, p_vertex in enumerate(order):
-            out_req = [
-                (dst, lbl)
-                for dst, lbl in pattern.out_adj[p_vertex]
-                if position_of[dst] < position
-            ]
-            in_req = [
-                (src, lbl)
-                for src, lbl in pattern.in_adj[p_vertex]
-                if position_of[src] < position
-            ]
-            plans.append((p_vertex, out_req, in_req))
+        plans = _plans_for(pattern, _matching_order(pattern, candidates))
+        return _search(pattern, target, plans, candidates, max_count)
 
-        t_labels = target.vertex_labels
-        t_out = target.out_adj
-        t_in = target.in_adj
-        t_edge_label = target.edge_label_of
-        mapping: dict[int, int] = {}
-        used = bytearray(target.n_vertices)
-        results: list[dict[int, int]] = []
 
-        def pool_at(position: int) -> Iterable[int]:
-            """Candidate targets, driven by an already-placed neighbour when possible."""
-            p_vertex, out_req, in_req = plans[position]
-            if out_req:
-                dst, lbl = out_req[0]
-                anchor = mapping[dst]
-                pool = [src for src, edge_lbl in t_in[anchor] if edge_lbl == lbl]
-            elif in_req:
-                src, lbl = in_req[0]
-                anchor = mapping[src]
-                pool = [dst for dst, edge_lbl in t_out[anchor] if edge_lbl == lbl]
-            else:
-                return candidates[p_vertex]
-            p_label = pattern.vertex_labels[p_vertex]
-            min_out = len(pattern.out_adj[p_vertex])
-            min_in = len(pattern.in_adj[p_vertex])
-            return [
-                vertex
-                for vertex in pool
-                if t_labels[vertex] == p_label
-                and len(t_out[vertex]) >= min_out
-                and len(t_in[vertex]) >= min_in
-            ]
+#: A per-position step of a matching plan: the pattern vertex to place and
+#: its required edges into already-placed pattern vertices.
+_Plan = list[tuple[int, list[tuple[int, int]], list[tuple[int, int]]]]
 
-        def backtrack(position: int) -> bool:
-            """Depth-first search; returns True when *max_count* is reached."""
-            if position == len(order):
-                results.append(dict(mapping))
-                return max_count is not None and len(results) >= max_count
-            p_vertex, out_req, in_req = plans[position]
-            for t_vertex in pool_at(position):
-                if used[t_vertex]:
-                    continue
-                ok = True
-                for dst, lbl in out_req:
-                    if t_edge_label.get((t_vertex, mapping[dst])) != lbl:
+
+def _plans_for(pattern: CompactGraph, order: Sequence[int]) -> _Plan:
+    """Per-position edge requirements for placing pattern vertices in *order*."""
+    position_of = {p_vertex: position for position, p_vertex in enumerate(order)}
+    plans: _Plan = []
+    for position, p_vertex in enumerate(order):
+        out_req = [
+            (dst, lbl)
+            for dst, lbl in pattern.out_adj[p_vertex]
+            if position_of[dst] < position
+        ]
+        in_req = [
+            (src, lbl)
+            for src, lbl in pattern.in_adj[p_vertex]
+            if position_of[src] < position
+        ]
+        plans.append((p_vertex, out_req, in_req))
+    return plans
+
+
+def _search(
+    pattern: CompactGraph,
+    target: CompactGraph,
+    plans: _Plan,
+    candidates: Sequence[Sequence[int]],
+    max_count: int | None,
+) -> list[dict[int, int]]:
+    """The core VF2-style backtracking over compact graphs.
+
+    *plans* fixes the placement order and per-position edge requirements;
+    *candidates* holds, per pattern vertex, the feasible target vertices
+    used at unanchored positions.  Shared by the per-query path (dynamic,
+    target-informed order) and the batched path (static per-pattern order
+    reused across a whole transaction scan).
+    """
+    t_labels = target.vertex_labels
+    t_out = target.out_adj
+    t_in = target.in_adj
+    t_edge_label = target.edge_label_of
+    mapping: dict[int, int] = {}
+    used = bytearray(target.n_vertices)
+    results: list[dict[int, int]] = []
+
+    def pool_at(position: int) -> Iterable[int]:
+        """Candidate targets, driven by an already-placed neighbour when possible."""
+        p_vertex, out_req, in_req = plans[position]
+        if out_req:
+            dst, lbl = out_req[0]
+            anchor = mapping[dst]
+            pool = [src for src, edge_lbl in t_in[anchor] if edge_lbl == lbl]
+        elif in_req:
+            src, lbl = in_req[0]
+            anchor = mapping[src]
+            pool = [dst for dst, edge_lbl in t_out[anchor] if edge_lbl == lbl]
+        else:
+            return candidates[p_vertex]
+        p_label = pattern.vertex_labels[p_vertex]
+        min_out = len(pattern.out_adj[p_vertex])
+        min_in = len(pattern.in_adj[p_vertex])
+        return [
+            vertex
+            for vertex in pool
+            if t_labels[vertex] == p_label
+            and len(t_out[vertex]) >= min_out
+            and len(t_in[vertex]) >= min_in
+        ]
+
+    def backtrack(position: int) -> bool:
+        """Depth-first search; returns True when *max_count* is reached."""
+        if position == len(plans):
+            results.append(dict(mapping))
+            return max_count is not None and len(results) >= max_count
+        p_vertex, out_req, in_req = plans[position]
+        for t_vertex in pool_at(position):
+            if used[t_vertex]:
+                continue
+            ok = True
+            for dst, lbl in out_req:
+                if t_edge_label.get((t_vertex, mapping[dst])) != lbl:
+                    ok = False
+                    break
+            if ok:
+                for src, lbl in in_req:
+                    if t_edge_label.get((mapping[src], t_vertex)) != lbl:
                         ok = False
                         break
-                if ok:
-                    for src, lbl in in_req:
-                        if t_edge_label.get((mapping[src], t_vertex)) != lbl:
-                            ok = False
-                            break
-                if not ok:
-                    continue
-                mapping[p_vertex] = t_vertex
-                used[t_vertex] = 1
-                done = backtrack(position + 1)
-                del mapping[p_vertex]
-                used[t_vertex] = 0
-                if done:
-                    return True
-            return False
+            if not ok:
+                continue
+            mapping[p_vertex] = t_vertex
+            used[t_vertex] = 1
+            done = backtrack(position + 1)
+            del mapping[p_vertex]
+            used[t_vertex] = 0
+            if done:
+                return True
+        return False
 
-        backtrack(0)
-        return results
+    backtrack(0)
+    return results
+
+
+def _static_matching_order(pattern: CompactGraph) -> list[int]:
+    """Target-independent frontier-extending order (highest degree first).
+
+    The batched path reuses one order for a whole transaction scan, so it
+    cannot rank by per-target candidate counts the way
+    :func:`_matching_order` does; degree is the best target-free proxy.
+    """
+    n = pattern.n_vertices
+    neighbours = [
+        {dst for dst, _ in pattern.out_adj[v]} | {src for src, _ in pattern.in_adj[v]}
+        for v in range(n)
+    ]
+    degree = [len(pattern.out_adj[v]) + len(pattern.in_adj[v]) for v in range(n)]
+    remaining = set(range(n))
+    in_order = [False] * n
+    order: list[int] = []
+
+    def rank(v: int) -> tuple[int, int]:
+        return (-degree[v], v)
+
+    start = min(remaining, key=rank)
+    order.append(start)
+    in_order[start] = True
+    remaining.remove(start)
+    while remaining:
+        frontier = [v for v in remaining if any(in_order[n_] for n_ in neighbours[v])]
+        pool = frontier or sorted(remaining)
+        nxt = min(pool, key=rank)
+        order.append(nxt)
+        in_order[nxt] = True
+        remaining.remove(nxt)
+    return order
 
 
 def _matching_order(pattern: CompactGraph, candidates: list[list[int]]) -> list[int]:

@@ -101,7 +101,11 @@ class Apriori:
         # Level 1: frequent single items.
         counts: dict[Itemset, int] = {}
         for basket in baskets:
-            for item in basket:
+            # Sorted so the level's (and therefore every consumer's) order
+            # does not depend on frozenset hash order / PYTHONHASHSEED.
+            # Keyed on str() so hashable-but-non-comparable item mixes
+            # still mine (items are nominally strings, but don't narrow).
+            for item in sorted(basket, key=str):
                 key = frozenset([item])
                 counts[key] = counts.get(key, 0) + 1
         current = {itemset: count for itemset, count in counts.items() if count >= min_count}
@@ -115,7 +119,10 @@ class Apriori:
             candidates = self._generate_candidates(set(current), size + 1)
             if not candidates:
                 break
-            counts = {candidate: 0 for candidate in candidates}
+            counts = {
+                candidate: 0
+                for candidate in sorted(candidates, key=lambda c: sorted(map(str, c)))
+            }
             for basket in baskets:
                 for candidate in candidates:
                     if candidate <= basket:
@@ -132,9 +139,8 @@ class Apriori:
 
     def _generate_candidates(self, frequent_prev: set[Itemset], size: int) -> set[Itemset]:
         """Join frequent (size-1)-itemsets and prune by downward closure."""
-        items = sorted({item for itemset in frequent_prev for item in itemset})
         candidates: set[Itemset] = set()
-        frequent_list = sorted(frequent_prev, key=sorted)
+        frequent_list = sorted(frequent_prev, key=lambda s: sorted(map(str, s)))
         for index, first in enumerate(frequent_list):
             for second in frequent_list[index + 1:]:
                 union = first | second
@@ -142,9 +148,6 @@ class Apriori:
                     continue
                 if all(frozenset(subset) in frequent_prev for subset in combinations(union, size - 1)):
                     candidates.add(union)
-        # ``items`` retained for clarity of the classical description; the
-        # join above already covers candidate generation.
-        del items
         return candidates
 
     # ------------------------------------------------------------------
@@ -173,7 +176,9 @@ class Apriori:
             if len(frequent.items) < 2:
                 continue
             rules.extend(self._rules_from_itemset(frequent))
-        rules.sort(key=lambda rule: (rule.confidence, rule.support), reverse=True)
+        # Ties on (confidence, support) are broken by the rendered rule so
+        # the ranking is reproducible across hash seeds.
+        rules.sort(key=lambda rule: (-rule.confidence, -rule.support, str(rule)))
         return rules
 
     def _rules_from_itemset(self, frequent: FrequentItemset) -> list[AssociationRule]:

@@ -35,6 +35,23 @@ from repro.graphs.labeled_graph import LabeledGraph
 EdgeTriple = tuple[Hashable, Hashable, Hashable]
 
 
+def _triple_sort_key(triple: EdgeTriple) -> tuple[str, str, str]:
+    """A hash-seed-independent ordering key for label triples.
+
+    Labels are compared by their ``str()`` forms — the same assumption
+    canonicalisation already makes — so iteration orders derived from
+    triple *sets* are stable across ``PYTHONHASHSEED`` values and across
+    runtime shards.
+    """
+    source_label, edge_label, target_label = triple
+    return (str(source_label), str(edge_label), str(target_label))
+
+
+def sorted_triples(triples: Iterable[EdgeTriple]) -> list[EdgeTriple]:
+    """*triples* in the deterministic :func:`_triple_sort_key` order."""
+    return sorted(triples, key=_triple_sort_key)
+
+
 @dataclass
 class Candidate:
     """A candidate pattern together with the parent transactions to scan."""
@@ -74,11 +91,15 @@ def frequent_single_edges(
     """Label triples occurring in at least *min_support* transactions.
 
     Returns a mapping from triple to the supporting transaction ids
-    (indices into *transactions*).
+    (indices into *transactions*).  The mapping's order — which downstream
+    consumers inherit for single-edge patterns and candidate extensions —
+    is fixed by sorting each transaction's triple set, so discovery order
+    no longer varies with ``PYTHONHASHSEED`` and cannot differ between
+    runtime shards.
     """
     occurrences: dict[EdgeTriple, set[int]] = {}
     for tid, transaction in enumerate(transactions):
-        for triple in edge_triples(transaction):
+        for triple in sorted_triples(edge_triples(transaction)):
             occurrences.setdefault(triple, set()).add(tid)
     return {
         triple: frozenset(tids)

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.graphs.canonical import CanonicalizationError
 from repro.graphs.engine import MatchEngine
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.mining.fsg.candidates import (
@@ -31,7 +32,7 @@ from repro.mining.fsg.candidates import (
 )
 from repro.mining.fsg.exceptions import MemoryBudgetExceeded
 from repro.mining.fsg.results import FSGResult, FrequentSubgraph
-from repro.mining.fsg.support import prune_infrequent
+from repro.runtime.base import MiningRuntime, SerialRuntime
 
 
 def _resolve_min_support(min_support: float | int, n_transactions: int) -> int:
@@ -70,11 +71,21 @@ class FSGMiner:
         Smallest pattern size to report.  The paper reports single-edge
         patterns too, so the default is 1.
     engine:
-        The :class:`~repro.graphs.engine.MatchEngine` to count support
-        through.  ``None`` (the default) creates a private engine per
-        :meth:`mine` call; passing a shared engine lets repeated runs
-        (e.g. the repeated-partitioning structural miner) reuse one label
-        table and verdict cache across mining rounds.
+        The :class:`~repro.graphs.engine.MatchEngine` used for candidate
+        deduplication (canonical codes) and, under the default serial
+        runtime, for support counting.  ``None`` (the default) creates a
+        private engine per :meth:`mine` call; passing a shared engine lets
+        repeated runs (e.g. the repeated-partitioning structural miner)
+        reuse one label table and verdict cache across mining rounds.
+    runtime:
+        The :class:`~repro.runtime.base.MiningRuntime` that owns the
+        transactions and answers per-level batched support queries.
+        ``None`` (the default) wraps *engine* in a
+        :class:`~repro.runtime.base.SerialRuntime`, which preserves the
+        single-engine behaviour exactly; pass a
+        :class:`~repro.runtime.shards.ShardedEngine` to spread support
+        counting across worker shards.  The miner never closes a
+        caller-supplied runtime.
     """
 
     min_support: float | int = 0.05
@@ -83,30 +94,32 @@ class FSGMiner:
     abort_on_budget: bool = True
     min_pattern_edges: int = 1
     engine: MatchEngine | None = None
+    runtime: MiningRuntime | None = None
 
     def mine(self, transactions: Sequence[LabeledGraph]) -> FSGResult:
         """Mine all frequent connected subgraphs from *transactions*."""
         n_transactions = len(transactions)
         support_threshold = _resolve_min_support(self.min_support, n_transactions)
         engine = self.engine if self.engine is not None else MatchEngine()
-        engine_tids = engine.add_transactions(transactions)
-        tid_base = engine_tids[0] if engine_tids else 0
+        runtime = self.runtime if self.runtime is not None else SerialRuntime(engine=engine)
+        runtime_tids = runtime.add_transactions(transactions)
         try:
             return self._mine_levels(
-                transactions, support_threshold, engine, tid_base, n_transactions
+                transactions, support_threshold, engine, runtime, runtime_tids, n_transactions
             )
         finally:
-            # A shared engine keeps serving after this run; drop this run's
+            # A shared runtime keeps serving after this run; drop this run's
             # transaction references so it does not retain every graph ever
             # mined (fresh tids per run make cross-run verdict reuse moot).
-            engine.release_transactions(engine_tids)
+            runtime.release_transactions(runtime_tids)
 
     def _mine_levels(
         self,
         transactions: Sequence[LabeledGraph],
         support_threshold: int,
         engine: MatchEngine,
-        tid_base: int,
+        runtime: MiningRuntime,
+        runtime_tids: Sequence[int],
         n_transactions: int,
     ) -> FSGResult:
         result = FSGResult(
@@ -146,18 +159,60 @@ class FSGMiner:
                     f"exceeded the memory budget of {self.memory_budget}"
                 )
                 break
-            level_patterns = prune_infrequent(
-                candidates,
-                transactions,
-                support_threshold,
-                engine=engine,
-                tid_offset=tid_base,
+            level_patterns = self._prune_level(
+                candidates, support_threshold, engine, runtime, runtime_tids
             )
             level += 1
             if level_patterns:
                 self._record_level(result, level_patterns, level=level)
                 result.levels_completed = level
         return result
+
+    def _prune_level(
+        self,
+        candidates: Sequence[Candidate],
+        support_threshold: int,
+        engine: MatchEngine,
+        runtime: MiningRuntime,
+        runtime_tids: Sequence[int],
+    ) -> list[tuple[Candidate, frozenset[int]]]:
+        """Evaluate a whole level's candidates through the runtime.
+
+        Candidate parent TID lists are local indices into this run's
+        transaction sequence; they are translated to the runtime's global
+        tid space for the batched query and the resulting support sets are
+        translated back, so callers only ever see local ids.  Candidate
+        canonical codes — memoized by deduplication an instant ago — ride
+        along as verdict-cache keys so shards never recanonicalise.
+        """
+        local_of = {global_tid: local for local, global_tid in enumerate(runtime_tids)}
+        # A candidate's support is bounded by its parent TID list, so a
+        # list already below threshold can never survive — don't even ship
+        # those candidates to the runtime.
+        viable = [
+            candidate
+            for candidate in candidates
+            if len(candidate.parent_tids) >= support_threshold
+        ]
+        tid_lists = [
+            [runtime_tids[local] for local in sorted(candidate.parent_tids)]
+            for candidate in viable
+        ]
+        pattern_keys: list[object] = []
+        for candidate in viable:
+            try:
+                pattern_keys.append(engine.canonical_code(candidate.pattern))
+            except CanonicalizationError:
+                pattern_keys.append(False)
+        supports = runtime.batch_support(
+            [candidate.pattern for candidate in viable], tid_lists, pattern_keys
+        )
+        surviving: list[tuple[Candidate, frozenset[int]]] = []
+        for candidate, supported in zip(viable, supports):
+            if len(supported) >= support_threshold:
+                tids = frozenset(local_of[global_tid] for global_tid in supported)
+                surviving.append((candidate, tids))
+        return surviving
 
     def _record_level(
         self,

@@ -1,0 +1,81 @@
+"""Parallel mining runtime: sharded support counting and batched evaluation.
+
+The level-wise miners spend nearly all their time in per-(pattern,
+transaction) support checks.  This package is the execution subsystem that
+scales that hot path without ever changing mining output:
+
+* :class:`~repro.runtime.base.MiningRuntime` — the substrate interface
+  the miners program against (register transactions, batched support over
+  global tids, aggregated stats).
+* :class:`~repro.runtime.base.SerialRuntime` — single-engine reference
+  implementation; the default everywhere, byte-identical to the
+  pre-runtime behaviour.
+* :class:`~repro.runtime.shards.ShardedEngine` — K shards, each owning
+  its transactions' indexes and verdict cache, fed by a
+  :class:`~repro.runtime.planner.BatchSupportPlanner` that evaluates a
+  whole FSG level against each shard in one transaction-major pass.
+* :class:`~repro.runtime.pool.WorkerPool` — the backend abstraction:
+  ``serial`` (inline, deterministic debugging) and ``process``
+  (``multiprocessing`` workers speaking the CompactGraph wire format).
+
+Pick a runtime with :func:`create_runtime`, or set ``REPRO_WORKERS`` /
+``REPRO_BACKEND`` to switch a whole run (or CI job) without code changes.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.engine import MatchEngine
+from repro.runtime.base import (
+    BACKENDS,
+    MiningRuntime,
+    SerialRuntime,
+    merge_stats,
+    resolve_backend,
+    resolve_workers,
+)
+from repro.runtime.planner import BatchSupportPlanner, ShardBatch
+from repro.runtime.pool import ProcessBackend, SerialBackend, WorkerError, WorkerPool, make_pool
+from repro.runtime.shards import ShardedEngine, ShardWorker
+
+__all__ = [
+    "BACKENDS",
+    "BatchSupportPlanner",
+    "MiningRuntime",
+    "ProcessBackend",
+    "SerialBackend",
+    "SerialRuntime",
+    "ShardBatch",
+    "ShardWorker",
+    "ShardedEngine",
+    "WorkerError",
+    "WorkerPool",
+    "create_runtime",
+    "make_pool",
+    "merge_stats",
+    "resolve_backend",
+    "resolve_workers",
+]
+
+
+def create_runtime(
+    workers: int | None = None,
+    backend: str | None = None,
+    engine: MatchEngine | None = None,
+) -> MiningRuntime:
+    """The runtime implied by a ``workers`` knob.
+
+    ``workers`` of ``0`` or ``1`` (or unset, with no ``REPRO_WORKERS`` in
+    the environment) selects the serial runtime, optionally wrapping a
+    caller-supplied *engine*; ``workers >= 2`` builds a
+    :class:`ShardedEngine` with that many shards on *backend* (defaulting
+    to ``process``, or ``REPRO_BACKEND``).
+
+    *engine* applies to the serial case only: a sharded runtime owns one
+    engine (label table, indexes, verdict cache) per shard by design, so
+    a caller-supplied engine — and any caches warmed in it — is not used
+    when sharding is selected.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1:
+        return SerialRuntime(engine=engine)
+    return ShardedEngine(shards=workers, backend=backend)

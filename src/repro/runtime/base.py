@@ -1,0 +1,170 @@
+"""The mining-runtime abstraction and its serial reference implementation.
+
+A :class:`MiningRuntime` is what the level-wise miners talk to when they
+need support counts: it owns the registered transaction corpus (however it
+is physically laid out — one engine, K in-process shards, K worker
+processes) and answers batched per-level support queries over global
+transaction ids.  :class:`SerialRuntime` is the degenerate single-engine
+case and reproduces the pre-runtime behaviour exactly — same engine calls,
+same verdict-cache traffic, same results — so it is both the default and
+the determinism oracle for the sharded implementations.
+
+Worker counts come from an explicit setting or, when unset, from the
+``REPRO_WORKERS`` environment variable (``0`` / ``1`` mean serial); the
+process/serial choice of the sharded runtime likewise falls back to
+``REPRO_BACKEND``.  That lets a CI matrix run the whole test suite against
+the process backend without touching any call site.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from repro.graphs.engine import MatchEngine
+from repro.graphs.labeled_graph import LabeledGraph
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+#: Environment variable supplying the default sharded backend.
+BACKEND_ENV = "REPRO_BACKEND"
+#: Backends understood by the sharded runtime's worker pool.
+BACKENDS = ("serial", "process")
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Validate *workers*, falling back to ``REPRO_WORKERS`` when ``None``.
+
+    ``0`` and ``1`` both mean "serial" (no sharding); anything negative or
+    non-integer is rejected.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 0
+        try:
+            workers = int(raw)
+        except ValueError as error:
+            raise ValueError(f"{WORKERS_ENV}={raw!r} is not an integer") from error
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(f"workers must be an integer, got {workers!r}")
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    return workers
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Validate *backend*, falling back to ``REPRO_BACKEND`` when ``None``."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "").strip() or "process"
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
+
+
+def merge_stats(snapshots: Iterable[dict[str, int]]) -> dict[str, int]:
+    """Key-wise sum of engine stat snapshots (the shard aggregation rule)."""
+    merged: dict[str, int] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+class MiningRuntime(ABC):
+    """Execution substrate for TID-based support counting.
+
+    Transactions are registered once and addressed by the *global* ids the
+    runtime hands back; how they are distributed across shards or
+    processes is the runtime's business.  All implementations must return
+    identical support sets for identical inputs — parallelism is never
+    allowed to change mining output.
+    """
+
+    @abstractmethod
+    def add_transactions(self, transactions: Sequence[LabeledGraph]) -> list[int]:
+        """Register *transactions*; returns their global tids."""
+
+    @abstractmethod
+    def release_transactions(self, tids: Iterable[int]) -> None:
+        """Drop the references held for *tids* (tids are never reused)."""
+
+    @abstractmethod
+    def batch_support(
+        self,
+        patterns: Sequence[LabeledGraph],
+        tid_lists: Sequence[Sequence[int]] | None = None,
+        pattern_keys: Sequence[object] | None = None,
+    ) -> list[frozenset[int]]:
+        """Per-pattern supporting global tids for a whole candidate batch.
+
+        ``tid_lists[i]`` restricts pattern ``i`` to those global tids;
+        ``None`` scans every live transaction for every pattern.
+        ``pattern_keys`` optionally carries each pattern's precomputed
+        verdict-cache key (canonical-code string, ``False`` for
+        uncacheable, ``None`` for unknown) so shards never redo the
+        canonicalisation a caller has already memoized.
+        """
+
+    def support(
+        self, pattern: LabeledGraph, tids: Sequence[int] | None = None
+    ) -> frozenset[int]:
+        """Supporting global tids of a single pattern."""
+        return self.batch_support([pattern], None if tids is None else [tids])[0]
+
+    @abstractmethod
+    def stats(self) -> dict[str, int]:
+        """Aggregated engine counters across every shard, plus runtime info."""
+
+    def close(self) -> None:
+        """Release any workers / OS resources; idempotent."""
+
+    def __enter__(self) -> "MiningRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialRuntime(MiningRuntime):
+    """Single-engine runtime reproducing the pre-runtime behaviour exactly.
+
+    Support queries go through :meth:`MatchEngine.support` pattern by
+    pattern — the same calls, in the same order, as the miners made before
+    the runtime existed — so every existing test and example is bitwise
+    unchanged under the default runtime.  (The batched transaction-major
+    pass is the sharded runtimes' job; see
+    :class:`~repro.runtime.shards.ShardedEngine`.)
+    """
+
+    def __init__(self, engine: MatchEngine | None = None) -> None:
+        self.engine = engine if engine is not None else MatchEngine()
+
+    def add_transactions(self, transactions: Sequence[LabeledGraph]) -> list[int]:
+        return self.engine.add_transactions(transactions)
+
+    def release_transactions(self, tids: Iterable[int]) -> None:
+        self.engine.release_transactions(tids)
+
+    def batch_support(
+        self,
+        patterns: Sequence[LabeledGraph],
+        tid_lists: Sequence[Sequence[int]] | None = None,
+        pattern_keys: Sequence[object] | None = None,
+    ) -> list[frozenset[int]]:
+        # pattern_keys is accepted for interface parity but unused: the
+        # engine's own per-index memoization already makes keys free here.
+        if tid_lists is not None and len(tid_lists) != len(patterns):
+            raise ValueError("tid_lists must align with patterns")
+        return [
+            self.engine.support(
+                pattern, None if tid_lists is None else tid_lists[position]
+            )
+            for position, pattern in enumerate(patterns)
+        ]
+
+    def stats(self) -> dict[str, int]:
+        snapshot = self.engine.stats_snapshot()
+        snapshot["shards"] = 1
+        return snapshot

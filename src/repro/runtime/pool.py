@@ -1,0 +1,202 @@
+"""Worker pools for the sharded mining runtime.
+
+A :class:`WorkerPool` runs one message *handler* per worker under a simple
+request/response protocol: every :meth:`~WorkerPool.send` to a worker must
+be matched by exactly one :meth:`~WorkerPool.recv` from it, and messages
+to one worker are processed in order.  The split into ``send`` / ``recv``
+is what buys parallelism with the process backend — the caller sends to
+every shard first and only then starts collecting replies, so all workers
+compute concurrently.
+
+Two backends implement the protocol:
+
+* :class:`SerialBackend` — handlers run inline in the calling process.
+  Same message flow, same wire encoding discipline at the layer above, no
+  concurrency: the determinism / debugging backend.
+* :class:`ProcessBackend` — one daemon ``multiprocessing`` process per
+  worker, connected by a pipe.  Handler exceptions are caught in the
+  worker, shipped back as a tagged traceback, and re-raised in the parent
+  as :class:`WorkerError`.
+
+Handlers are created *inside* each worker from a picklable zero-argument
+factory (a class or function), so process workers never receive parent
+state except through messages.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Any, Callable
+
+#: Tag for replies carrying a worker-side exception.
+_ERROR = "__worker_error__"
+#: Message asking a worker's main loop to exit.
+_STOP = "__stop__"
+
+
+class WorkerError(RuntimeError):
+    """A handler raised inside a worker; carries the remote traceback."""
+
+
+class WorkerPool(ABC):
+    """N workers, each running one handler under send/recv message passing."""
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError(f"a worker pool needs at least one worker, got {n_workers}")
+        self.n_workers = n_workers
+        self._closed = False
+
+    @abstractmethod
+    def send(self, worker: int, message: tuple) -> None:
+        """Queue *message* for *worker* (returns immediately)."""
+
+    @abstractmethod
+    def recv(self, worker: int) -> Any:
+        """The reply to the oldest unanswered :meth:`send` to *worker*."""
+
+    def call(self, worker: int, message: tuple) -> Any:
+        """Send and wait for the reply."""
+        self.send(worker, message)
+        return self.recv(worker)
+
+    def broadcast(self, message: tuple) -> list[Any]:
+        """Send *message* to every worker, then collect every reply."""
+        for worker in range(self.n_workers):
+            self.send(worker, message)
+        return [self.recv(worker) for worker in range(self.n_workers)]
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent."""
+        self._closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialBackend(WorkerPool):
+    """In-process pool: handlers execute inline at :meth:`send` time."""
+
+    def __init__(self, n_workers: int, handler_factory: Callable[[], Callable[[tuple], Any]]) -> None:
+        super().__init__(n_workers)
+        self._handlers = [handler_factory() for _ in range(n_workers)]
+        self._replies: list[deque] = [deque() for _ in range(n_workers)]
+
+    def send(self, worker: int, message: tuple) -> None:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self._replies[worker].append(self._handlers[worker](message))
+
+    def recv(self, worker: int) -> Any:
+        return self._replies[worker].popleft()
+
+
+def _worker_main(connection, handler_factory) -> None:
+    """Entry point of a process worker: build the handler, serve the pipe."""
+    handler = handler_factory()
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:
+            break
+        if message == (_STOP,):
+            break
+        try:
+            reply = handler(message)
+        except BaseException:
+            reply = (_ERROR, traceback.format_exc())
+        try:
+            connection.send(reply)
+        except BrokenPipeError:
+            break
+    connection.close()
+
+
+class ProcessBackend(WorkerPool):
+    """One daemon process per worker, pipes for transport.
+
+    ``fork`` is preferred when the platform offers it (no re-import, the
+    cheapest start); otherwise the context default (``spawn``) is used, for
+    which *handler_factory* must be importable, not a closure.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        handler_factory: Callable[[], Callable[[tuple], Any]],
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(n_workers)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else None
+        context = multiprocessing.get_context(start_method)
+        self._connections = []
+        self._processes = []
+        for _ in range(n_workers):
+            parent_end, worker_end = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(worker_end, handler_factory),
+                daemon=True,
+            )
+            process.start()
+            worker_end.close()
+            self._connections.append(parent_end)
+            self._processes.append(process)
+
+    def send(self, worker: int, message: tuple) -> None:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self._connections[worker].send(message)
+
+    def recv(self, worker: int) -> Any:
+        reply = self._connections[worker].recv()
+        if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == _ERROR:
+            raise WorkerError(f"worker {worker} failed:\n{reply[1]}")
+        return reply
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        super().close()
+        for connection in self._connections:
+            try:
+                connection.send((_STOP,))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - hung-worker fallback
+                process.terminate()
+                process.join(timeout=1)
+        for connection in self._connections:
+            connection.close()
+
+
+def make_pool(
+    backend: str,
+    n_workers: int,
+    handler_factory: Callable[[], Callable[[tuple], Any]],
+) -> WorkerPool:
+    """Construct the pool for *backend* (``serial`` or ``process``)."""
+    if backend == "serial":
+        return SerialBackend(n_workers, handler_factory)
+    if backend == "process":
+        return ProcessBackend(n_workers, handler_factory)
+    raise ValueError(f"unknown worker-pool backend {backend!r}")
+
+
+__all__ = [
+    "WorkerError",
+    "WorkerPool",
+    "SerialBackend",
+    "ProcessBackend",
+    "make_pool",
+]

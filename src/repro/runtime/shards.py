@@ -1,0 +1,237 @@
+"""Sharded support counting: K engine shards behind one runtime facade.
+
+A :class:`ShardedEngine` partitions registered transactions round-robin
+across K shards.  Each shard owns the full matching state for its slice —
+a :class:`~repro.graphs.compact.LabelTable` replica, the per-transaction
+:class:`~repro.graphs.index.GraphIndex` set, and its own
+``(pattern canonical code, tid)`` verdict LRU — so shards never share
+mutable state and support counts merge by disjoint union.
+
+Transactions and patterns travel as :class:`CompactGraph` wire tuples:
+pure-integer payloads against a label-table replica the parent keeps in
+sync by shipping append-only deltas.  Workers therefore never re-intern a
+label and never rebuild string keys; with the process backend the pickles
+are tuples of small ints.
+
+The shard side is :class:`ShardWorker`, a picklable message handler that
+runs identically under both worker-pool backends (inline for ``serial``,
+in a daemon process for ``process``) — the backend choice can change
+wall-clock, never output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.graphs.compact import CompactGraph, LabelTable
+from repro.graphs.engine import MatchEngine
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.runtime.base import MiningRuntime, merge_stats, resolve_backend
+from repro.runtime.planner import BatchSupportPlanner
+from repro.runtime.pool import make_pool
+
+
+class ShardWorker:
+    """One shard's state and message handler.
+
+    Messages (each answered by exactly one reply):
+
+    ``("labels", labels)``
+        Append the parent table's delta to the replica; ack with ``None``.
+    ``("add", wires)``
+        Register transactions from wire tuples; reply with local tids.
+    ``("release", local_tids)``
+        Drop transaction references; ack with ``None``.
+    ``("batch", wires, tid_lists, keys)``
+        Batched support for the patterns against local tids (``keys``
+        carries precomputed verdict-cache keys); reply with a sorted
+        local tid list per pattern.
+    ``("stats",)``
+        Reply with the shard engine's counter snapshot.
+    """
+
+    def __init__(self) -> None:
+        self.table = LabelTable()
+        self.engine = MatchEngine(self.table)
+
+    def __call__(self, message: tuple):
+        op = message[0]
+        if op == "labels":
+            self.table.extend(message[1])
+            return None
+        if op == "add":
+            compacts = [CompactGraph.from_wire(wire, self.table) for wire in message[1]]
+            return self.engine.add_compact_transactions(compacts)
+        if op == "release":
+            self.engine.release_transactions(message[1])
+            return None
+        if op == "batch":
+            patterns = [CompactGraph.from_wire(wire, self.table) for wire in message[1]]
+            supports = self.engine.batch_support(patterns, message[2], message[3])
+            return [sorted(tids) for tids in supports]
+        if op == "stats":
+            return self.engine.stats_snapshot()
+        raise ValueError(f"unknown shard message {op!r}")
+
+
+class ShardedEngine(MiningRuntime):
+    """K-shard mining runtime with batched per-level evaluation.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards / workers (K >= 1; prefer >= 2, otherwise use
+        :class:`~repro.runtime.base.SerialRuntime`).
+    backend:
+        ``"process"`` (default, real parallelism via ``multiprocessing``)
+        or ``"serial"`` (same code path inline — determinism / debugging).
+        ``None`` consults ``REPRO_BACKEND``.
+    """
+
+    def __init__(self, shards: int = 2, backend: str | None = None) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.n_shards = shards
+        self.backend = resolve_backend(backend)
+        self.table = LabelTable()
+        self.planner = BatchSupportPlanner(shards)
+        self._pool = make_pool(self.backend, shards, ShardWorker)
+        self._synced = [0] * shards
+        self._local_to_global: list[list[int]] = [[] for _ in range(shards)]
+        self._home: dict[int, tuple[int, int]] = {}
+        self._released: set[int] = set()
+        self._next_global = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def locate(self, tid: int) -> tuple[int, int]:
+        """The ``(shard, local tid)`` home of global tid *tid*."""
+        if tid in self._released:
+            raise KeyError(f"transaction {tid} has been released from this runtime")
+        try:
+            return self._home[tid]
+        except KeyError:
+            raise KeyError(f"unknown transaction id {tid}") from None
+
+    def to_global(self, shard: int, local: int) -> int:
+        """The global tid of *local* on *shard*."""
+        return self._local_to_global[shard][local]
+
+    @property
+    def n_transactions(self) -> int:
+        """Number of global tid slots handed out (including released ones)."""
+        return self._next_global
+
+    # ------------------------------------------------------------------
+    # Label-table replication
+    # ------------------------------------------------------------------
+    def _send_sync(self, shard: int) -> bool:
+        """Send the replica's missing label delta; True if a reply is due."""
+        delta = self.table.snapshot(self._synced[shard])
+        if not delta:
+            return False
+        self._pool.send(shard, ("labels", delta))
+        self._synced[shard] = len(self.table)
+        return True
+
+    # ------------------------------------------------------------------
+    # MiningRuntime API
+    # ------------------------------------------------------------------
+    def add_transactions(self, transactions: Sequence[LabeledGraph]) -> list[int]:
+        wires: list[list[tuple]] = [[] for _ in range(self.n_shards)]
+        globals_: list[list[int]] = [[] for _ in range(self.n_shards)]
+        tids: list[int] = []
+        for transaction in transactions:
+            compact = CompactGraph.from_labeled(transaction, self.table)
+            tid = self._next_global
+            self._next_global += 1
+            shard = tid % self.n_shards
+            wires[shard].append(compact.to_wire())
+            globals_[shard].append(tid)
+            tids.append(tid)
+        # Send everything first so process workers index concurrently.
+        pending: list[tuple[int, bool]] = []
+        for shard in range(self.n_shards):
+            if not wires[shard]:
+                continue
+            synced = self._send_sync(shard)
+            self._pool.send(shard, ("add", wires[shard]))
+            pending.append((shard, synced))
+        for shard, synced in pending:
+            if synced:
+                self._pool.recv(shard)
+            locals_ = self._pool.recv(shard)
+            for local, tid in zip(locals_, globals_[shard]):
+                mapping = self._local_to_global[shard]
+                if local != len(mapping):
+                    # Guards cross-process data, so a real error, not an
+                    # assert: a wrong correspondence here would silently
+                    # map support sets to the wrong transactions.
+                    raise RuntimeError(
+                        f"shard {shard} assigned local tid {local}, "
+                        f"expected {len(mapping)}"
+                    )
+                self._home[tid] = (shard, local)
+                mapping.append(tid)
+        return tids
+
+    def release_transactions(self, tids: Iterable[int]) -> None:
+        by_shard: dict[int, list[int]] = {}
+        for tid in tids:
+            shard, local = self.locate(tid)
+            by_shard.setdefault(shard, []).append(local)
+            self._released.add(tid)
+        for shard, locals_ in sorted(by_shard.items()):
+            self._pool.send(shard, ("release", sorted(locals_)))
+        for shard in sorted(by_shard):
+            self._pool.recv(shard)
+
+    def batch_support(
+        self,
+        patterns: Sequence[LabeledGraph],
+        tid_lists: Sequence[Sequence[int]] | None = None,
+        pattern_keys: Sequence[object] | None = None,
+    ) -> list[frozenset[int]]:
+        if tid_lists is None:
+            live = sorted(tid for tid in self._home if tid not in self._released)
+            tid_lists = [live] * len(patterns)
+        batches = self.planner.plan(
+            patterns, tid_lists, self.table, self.locate, pattern_keys
+        )
+        # One pass of sends, then one pass of receives: all shards evaluate
+        # their slice of the level concurrently under the process backend.
+        pending: list[tuple[int, bool]] = []
+        for batch in batches:
+            if batch.is_empty():
+                continue
+            synced = self._send_sync(batch.shard)
+            self._pool.send(
+                batch.shard, ("batch", batch.wires, batch.tid_lists, batch.keys)
+            )
+            pending.append((batch.shard, synced))
+        results: list[Sequence[Sequence[int]] | None] = [None] * self.n_shards
+        for shard, synced in pending:
+            if synced:
+                self._pool.recv(shard)
+            results[shard] = self._pool.recv(shard)
+        return self.planner.merge(len(patterns), batches, results, self.to_global)
+
+    def stats(self) -> dict[str, int]:
+        snapshots = self._pool.broadcast(("stats",))
+        merged = merge_stats(snapshots)
+        merged["shards"] = self.n_shards
+        return merged
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+
+    def __del__(self) -> None:  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -25,6 +25,22 @@ class TestParser:
     def test_summaries_cover_every_experiment(self):
         assert set(_EXPERIMENT_SUMMARIES) == set(ALL_EXPERIMENTS)
 
+    def test_workers_and_backend_options(self):
+        args = build_parser().parse_args(
+            ["run", "T1", "--workers", "4", "--backend", "serial"]
+        )
+        assert args.workers == 4
+        assert args.backend == "serial"
+
+    def test_workers_defaults_to_environment_resolution(self):
+        args = build_parser().parse_args(["run", "T1"])
+        assert args.workers is None
+        assert args.backend is None
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "T1", "--backend", "threads"])
+
 
 class TestListCommand:
     def test_list_prints_all_ids(self, capsys):
@@ -48,6 +64,12 @@ class TestRunCommand:
         assert exit_code == 0
         assert "[T1]" in captured.out
         assert "measured" in captured.out
+
+    def test_negative_workers_fails_cleanly(self, capsys):
+        exit_code = main(["run", "T1", "--scale", "0.012", "--workers", "-2"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "invalid configuration" in captured.err
 
     def test_run_writes_output_file(self, tmp_path, capsys):
         target = tmp_path / "out" / "results.txt"

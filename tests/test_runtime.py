@@ -1,0 +1,331 @@
+"""Tests for the parallel mining runtime (repro.runtime).
+
+The load-bearing property is *equivalence*: whatever the shard count or
+backend, mining output — frequent pattern sets and per-pattern support
+counts — must be identical to the serial runtime's.  The suite checks it
+property-style on randomized corpora, plus the wire-format/pickling
+round-trips and the knob plumbing the runtime rides on.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.graphs.compact import CompactGraph, LabelTable
+from repro.graphs.engine import MatchEngine
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.mining.fsg.miner import FSGMiner
+from repro.runtime import (
+    BatchSupportPlanner,
+    SerialRuntime,
+    ShardedEngine,
+    WorkerError,
+    create_runtime,
+    merge_stats,
+    resolve_backend,
+    resolve_workers,
+)
+from repro.runtime.pool import ProcessBackend, SerialBackend
+
+
+# ----------------------------------------------------------------------
+# Corpus helpers
+# ----------------------------------------------------------------------
+def random_transaction(rng: random.Random, name: str) -> LabeledGraph:
+    n_vertices = rng.randint(4, 9)
+    graph = LabeledGraph(name=name)
+    for v in range(n_vertices):
+        graph.add_vertex(f"v{v}", rng.choice(["A", "B", "C"]))
+    n_edges = rng.randint(n_vertices - 1, n_vertices + 3)
+    added = 0
+    while added < n_edges:
+        a, b = rng.sample(range(n_vertices), 2)
+        if graph.has_edge(f"v{a}", f"v{b}"):
+            continue
+        graph.add_edge(f"v{a}", f"v{b}", rng.choice(["x", "y"]))
+        added += 1
+    return graph
+
+
+def random_corpus(seed: int, size: int = 30) -> list[LabeledGraph]:
+    rng = random.Random(seed)
+    return [random_transaction(rng, f"t{i}") for i in range(size)]
+
+
+def mining_signature(result):
+    """Order-free signature of an FSG result: canonical code + support set."""
+    engine = MatchEngine()
+    signature = []
+    for pattern in result.patterns:
+        try:
+            code = engine.canonical_code(pattern.pattern)
+        except Exception:
+            code = f"invariant:{engine.graph_invariant(pattern.pattern)}"
+        signature.append((code, pattern.support, tuple(sorted(pattern.supporting_transactions))))
+    return sorted(signature)
+
+
+# ----------------------------------------------------------------------
+# Serial vs sharded equivalence (the core property)
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_sharded_serial_backend_matches_serial(self, seed, shards):
+        corpus = random_corpus(seed)
+        baseline = FSGMiner(min_support=3, max_edges=3).mine(corpus)
+        runtime = ShardedEngine(shards=shards, backend="serial")
+        try:
+            sharded = FSGMiner(min_support=3, max_edges=3, runtime=runtime).mine(corpus)
+        finally:
+            runtime.close()
+        assert mining_signature(sharded) == mining_signature(baseline)
+
+    def test_process_backend_matches_serial(self):
+        corpus = random_corpus(5, size=20)
+        baseline = FSGMiner(min_support=3, max_edges=3).mine(corpus)
+        runtime = ShardedEngine(shards=2, backend="process")
+        try:
+            sharded = FSGMiner(min_support=3, max_edges=3, runtime=runtime).mine(corpus)
+        finally:
+            runtime.close()
+        assert mining_signature(sharded) == mining_signature(baseline)
+
+    def test_shared_sharded_runtime_across_runs(self):
+        # A runtime that serves several mining rounds (the structural
+        # miner's pattern) must release each round's transactions and keep
+        # answering correctly with fresh global tids.
+        corpus_a = random_corpus(7, size=15)
+        corpus_b = random_corpus(8, size=15)
+        runtime = ShardedEngine(shards=2, backend="serial")
+        try:
+            miner = FSGMiner(min_support=3, max_edges=2, runtime=runtime)
+            first = miner.mine(corpus_a)
+            second = miner.mine(corpus_b)
+        finally:
+            runtime.close()
+        assert mining_signature(first) == mining_signature(
+            FSGMiner(min_support=3, max_edges=2).mine(corpus_a)
+        )
+        assert mining_signature(second) == mining_signature(
+            FSGMiner(min_support=3, max_edges=2).mine(corpus_b)
+        )
+
+    def test_batch_support_matches_pattern_major(self):
+        corpus = random_corpus(13, size=12)
+        pattern = LabeledGraph(name="p")
+        pattern.add_vertex("a", "A")
+        pattern.add_vertex("b", "B")
+        pattern.add_edge("a", "b", "x")
+        serial = SerialRuntime()
+        tids = serial.add_transactions(corpus)
+        expected = serial.support(pattern, tids)
+        engine = MatchEngine()
+        engine.add_transactions(corpus)
+        batched = engine.batch_support([pattern, pattern], [tids, tids[:5]])
+        assert batched[0] == expected
+        assert batched[1] == expected & frozenset(tids[:5])
+
+
+# ----------------------------------------------------------------------
+# Wire format and pickling round-trips
+# ----------------------------------------------------------------------
+class TestWireAndPickle:
+    def test_label_table_pickle_round_trip(self):
+        table = LabelTable()
+        for label in ["A", "B", ("tuple", 1), 42]:
+            table.intern(label)
+        clone = pickle.loads(pickle.dumps(table))
+        assert len(clone) == len(table)
+        for label in ["A", "B", ("tuple", 1), 42]:
+            assert clone.lookup(label) == table.lookup(label)
+
+    def test_empty_label_table_pickle(self):
+        clone = pickle.loads(pickle.dumps(LabelTable()))
+        assert len(clone) == 0
+        assert clone.intern("fresh") == 0
+
+    @staticmethod
+    def _structure(graph: LabeledGraph):
+        vertices = {vertex: graph.vertex_label(vertex) for vertex in graph.vertices()}
+        edges = {(edge.source, edge.target, edge.label) for edge in graph.edges()}
+        return vertices, edges
+
+    def test_compact_graph_pickle_round_trip(self):
+        graph = random_transaction(random.Random(1), "g")
+        table = LabelTable()
+        compact = CompactGraph.from_labeled(graph, table)
+        clone = pickle.loads(pickle.dumps(compact))
+        assert self._structure(clone.to_labeled()) == self._structure(graph)
+        assert clone.vertex_labels == compact.vertex_labels
+        assert clone.out_adj == compact.out_adj
+        assert clone.in_adj == compact.in_adj
+
+    def test_wire_round_trip_preserves_graph(self):
+        graph = random_transaction(random.Random(2), "g")
+        sender = LabelTable()
+        compact = CompactGraph.from_labeled(graph, sender)
+        replica = LabelTable()
+        replica.extend(sender.snapshot(0))
+        rebuilt = CompactGraph.from_wire(compact.to_wire(), replica)
+        assert self._structure(rebuilt.to_labeled()) == self._structure(graph)
+
+    def test_snapshot_extend_delta_protocol(self):
+        parent = LabelTable()
+        replica = LabelTable()
+        parent.intern("A")
+        replica.extend(parent.snapshot(0))
+        parent.intern("B")
+        parent.intern("C")
+        replica.extend(parent.snapshot(1))
+        assert replica.lookup("C") == parent.lookup("C")
+        with pytest.raises(ValueError):
+            replica.extend(["A"])
+
+
+# ----------------------------------------------------------------------
+# Worker pools
+# ----------------------------------------------------------------------
+class _EchoHandler:
+    def __call__(self, message):
+        if message[0] == "boom":
+            raise RuntimeError("handler exploded")
+        return ("echo", *message)
+
+
+class TestWorkerPools:
+    def test_serial_backend_round_trip(self):
+        pool = SerialBackend(2, _EchoHandler)
+        assert pool.call(0, ("ping",)) == ("echo", "ping")
+        pool.close()
+
+    def test_process_backend_round_trip_and_error(self):
+        pool = ProcessBackend(2, _EchoHandler)
+        try:
+            assert pool.call(1, ("ping",)) == ("echo", "ping")
+            with pytest.raises(WorkerError, match="handler exploded"):
+                pool.call(0, ("boom",))
+            # The worker survives a handler error.
+            assert pool.call(0, ("still-alive",)) == ("echo", "still-alive")
+        finally:
+            pool.close()
+
+    def test_broadcast_collects_all(self):
+        pool = SerialBackend(3, _EchoHandler)
+        assert pool.broadcast(("hi",)) == [("echo", "hi")] * 3
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# Runtime facade: stats, release, planner, knobs
+# ----------------------------------------------------------------------
+class TestShardedEngine:
+    def test_stats_aggregate_across_shards(self):
+        corpus = random_corpus(17, size=10)
+        runtime = ShardedEngine(shards=2, backend="serial")
+        try:
+            tids = runtime.add_transactions(corpus)
+            pattern = LabeledGraph(name="p")
+            pattern.add_vertex("a", "A")
+            pattern.add_vertex("b", "B")
+            pattern.add_edge("a", "b", "x")
+            runtime.batch_support([pattern], [tids])
+            stats = runtime.stats()
+        finally:
+            runtime.close()
+        assert stats["shards"] == 2
+        # Every transaction indexed once across the shards, plus one
+        # pattern index per shard that received the batch.
+        assert stats["indexes_built"] >= len(corpus)
+        assert stats["searches"] + stats["early_rejects"] > 0
+
+    def test_merge_stats_sums_keywise(self):
+        merged = merge_stats([{"a": 1, "b": 2}, {"a": 3, "c": 4}])
+        assert merged == {"a": 4, "b": 2, "c": 4}
+
+    def test_release_then_query_raises(self):
+        corpus = random_corpus(19, size=4)
+        runtime = ShardedEngine(shards=2, backend="serial")
+        try:
+            tids = runtime.add_transactions(corpus)
+            runtime.release_transactions(tids[:2])
+            pattern = corpus[0].copy()
+            with pytest.raises(KeyError):
+                runtime.batch_support([pattern], [tids[:1]])
+        finally:
+            runtime.close()
+
+    def test_planner_skips_shards_without_tids(self):
+        planner = BatchSupportPlanner(3)
+        table = LabelTable()
+        pattern = LabeledGraph(name="p")
+        pattern.add_vertex("a", "A")
+        # Both tids live on shard 1; shards 0 and 2 get empty batches.
+        batches = planner.plan([pattern], [[4, 7]], table, lambda tid: (1, tid))
+        assert [batch.is_empty() for batch in batches] == [True, False, True]
+        assert batches[1].tid_lists == [[4, 7]]
+
+    def test_round_robin_placement(self):
+        corpus = random_corpus(23, size=6)
+        runtime = ShardedEngine(shards=3, backend="serial")
+        try:
+            tids = runtime.add_transactions(corpus)
+            shards = [runtime.locate(tid)[0] for tid in tids]
+        finally:
+            runtime.close()
+        assert shards == [0, 1, 2, 0, 1, 2]
+
+
+class TestKnobs:
+    def test_resolve_workers_validation(self):
+        assert resolve_workers(0) == 0
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+        with pytest.raises(ValueError):
+            resolve_workers(True)
+
+    def test_resolve_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+    def test_resolve_backend_validation(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None) == "process"
+        assert resolve_backend("serial") == "serial"
+        with pytest.raises(ValueError):
+            resolve_backend("threads")
+
+    def test_create_runtime_types(self):
+        serial = create_runtime(workers=0)
+        assert isinstance(serial, SerialRuntime)
+        shared_engine = MatchEngine()
+        wrapped = create_runtime(workers=1, engine=shared_engine)
+        assert isinstance(wrapped, SerialRuntime)
+        assert wrapped.engine is shared_engine
+        sharded = create_runtime(workers=2, backend="serial")
+        try:
+            assert isinstance(sharded, ShardedEngine)
+            assert sharded.n_shards == 2
+        finally:
+            sharded.close()
+
+    def test_experiment_config_validates_workers(self):
+        assert ExperimentConfig(workers=2).workers == 2
+        with pytest.raises(ValueError):
+            ExperimentConfig(workers=-2)
+        with pytest.raises(ValueError):
+            ExperimentConfig(backend="threads")
+
+    def test_fsg_miner_workers_zero_is_serial_default(self):
+        corpus = random_corpus(31, size=10)
+        result = FSGMiner(min_support=3, max_edges=2).mine(corpus)
+        assert result.n_transactions == len(corpus)
