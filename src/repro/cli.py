@@ -12,6 +12,18 @@ from the command line without writing any code::
 ``run`` executes one or more experiments and prints the paper-versus-
 measured comparison; ``all`` runs every experiment.  ``--output`` appends
 the rendered comparisons to a file in addition to printing them.
+
+The scenario/verification subsystem rides along as ``scenarios``::
+
+    python -m repro.cli scenarios list
+    python -m repro.cli scenarios run dense-uniform --workers 2
+    python -m repro.cli scenarios verify --update-golden
+    python -m repro.cli scenarios verify --shards 2,3 --backends serial,process
+
+``scenarios verify`` runs every workload through the differential harness
+(serial vs sharded runtimes vs the legacy matcher) and compares the
+outcome digests against the golden file; it exits non-zero on any
+divergence, which is what the CI scenario-matrix job checks.
 """
 
 from __future__ import annotations
@@ -25,6 +37,7 @@ from repro.core.config import ExperimentConfig
 from repro.core.experiments import ALL_EXPERIMENTS
 from repro.core.results import ExperimentReport
 from repro.reporting.comparison import agreement_summary, render_comparison
+from repro.runtime.base import BACKENDS
 
 #: One-line descriptions shown by ``list`` (kept in sync with DESIGN.md).
 _EXPERIMENT_SUMMARIES: dict[str, str] = {
@@ -60,6 +73,41 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser = subparsers.add_parser("all", help="run every experiment")
     _add_common_options(all_parser)
 
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="scenario workloads and the differential verification harness"
+    )
+    scenario_commands = scenarios_parser.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_commands.add_parser("list", help="list the registered scenarios")
+
+    scenario_run = scenario_commands.add_parser(
+        "run", help="run scenarios and print their outcome digests"
+    )
+    scenario_run.add_argument("names", nargs="+", help="scenario names (see 'scenarios list')")
+    scenario_run.add_argument("--workers", type=int, default=None,
+                              help="worker shards for support counting (default: serial)")
+    scenario_run.add_argument("--backend", choices=list(BACKENDS), default=None,
+                              help="sharded-runtime backend when --workers >= 2")
+
+    scenario_verify = scenario_commands.add_parser(
+        "verify",
+        help="differential-check scenarios and compare against golden digests",
+    )
+    scenario_verify.add_argument("names", nargs="*",
+                                 help="scenario names (default: every registered scenario)")
+    scenario_verify.add_argument("--update-golden", action="store_true",
+                                 help="rewrite the golden digests instead of comparing")
+    scenario_verify.add_argument("--golden", type=Path, default=None,
+                                 help="golden file (default: tests/golden/scenarios.json)")
+    scenario_verify.add_argument("--shards", default="2,3",
+                                 help="comma-separated shard counts to differentiate (default 2,3)")
+    scenario_verify.add_argument("--backends", default="serial",
+                                 help="comma-separated pool backends (default 'serial')")
+    scenario_verify.add_argument("--no-oracle", action="store_true",
+                                 help="skip the legacy-matcher support oracle")
+    scenario_verify.add_argument("--report", type=Path, default=None,
+                                 help="also write the per-scenario digests to this JSON file")
+
     return parser
 
 
@@ -71,7 +119,7 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                         help="worker shards for the parallel mining runtime "
                              "(0/1 = serial; >= 2 shards support counting across "
                              "that many processes; default: $REPRO_WORKERS or serial)")
-    parser.add_argument("--backend", choices=["process", "serial"], default=None,
+    parser.add_argument("--backend", choices=list(BACKENDS), default=None,
                         help="sharded-runtime backend when --workers >= 2 "
                              "(default: $REPRO_BACKEND or 'process')")
     parser.add_argument("--output", type=Path, default=None,
@@ -115,6 +163,116 @@ def _run_experiments(experiment_ids: Sequence[str], args, stream) -> int:
     return 0
 
 
+def _scenarios_list(stream) -> int:
+    from repro.scenarios import iter_scenarios
+
+    for scenario in iter_scenarios():
+        tags = ",".join(scenario.tags)
+        print(f"{scenario.name:24s} [{tags}] {scenario.description}", file=stream)
+    return 0
+
+
+def _scenarios_run(args, stream) -> int:
+    from repro.runtime import create_runtime, resolve_workers
+    from repro.scenarios import get_scenario, run_scenario, scenario_names
+
+    unknown = [name for name in args.names if name not in scenario_names()]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(scenario_names())}", file=sys.stderr)
+        return 2
+    runtime = None
+    if resolve_workers(args.workers) > 1:
+        runtime = create_runtime(workers=args.workers, backend=args.backend)
+    try:
+        for name in args.names:
+            outcome = run_scenario(get_scenario(name), runtime=runtime)
+            payload = outcome.payload
+            recall = payload.get("recall")
+            recall_note = f"  recall={recall['recall']:.2f}" if recall else ""
+            print(
+                f"{name:24s} txns={payload['n_transactions']:<4d} "
+                f"fsg={len(payload['fsg']):<4d} subdue={len(payload['subdue'])} "
+                f"structural={len(payload['structural']):<4d}"
+                f"{recall_note}  digest={outcome.digest}",
+                file=stream,
+            )
+    finally:
+        if runtime is not None:
+            runtime.close()
+    return 0
+
+
+def _scenarios_verify(args, stream) -> int:
+    import json
+
+    from repro.scenarios import scenario_names, verify_scenarios
+
+    names = args.names or None
+    if names:
+        unknown = [name for name in names if name not in scenario_names()]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    try:
+        shard_counts = tuple(int(part) for part in args.shards.split(",") if part.strip())
+    except ValueError:
+        print(f"invalid --shards value {args.shards!r}", file=sys.stderr)
+        return 2
+    if any(count < 1 for count in shard_counts):
+        print(f"invalid --shards value {args.shards!r}: shard counts must be >= 1", file=sys.stderr)
+        return 2
+    backends = tuple(part.strip() for part in args.backends.split(",") if part.strip())
+    unknown_backends = [backend for backend in backends if backend not in BACKENDS]
+    if unknown_backends:
+        print(
+            f"invalid --backends value(s) {', '.join(unknown_backends)}; "
+            f"expected one of {', '.join(BACKENDS)}",
+            file=sys.stderr,
+        )
+        return 2
+    result = verify_scenarios(
+        names=names,
+        shard_counts=shard_counts,
+        backends=backends,
+        update=args.update_golden,
+        golden_path=args.golden,
+        check_oracle=not args.no_oracle,
+    )
+    for report in result.reports:
+        status = "ok" if report.ok else "FAIL"
+        print(
+            f"{report.scenario:24s} {status:4s} digest={report.digest[:16]} "
+            f"runs={len(report.runs)}",
+            file=stream,
+        )
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(
+            json.dumps(result.entries, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.report}", file=stream)
+    for failure in result.failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if result.failures:
+        if args.update_golden:
+            print("golden digests NOT updated: fix the failures first", file=sys.stderr)
+        return 1
+    if result.updated_path is not None:
+        print(f"updated golden digests in {result.updated_path}", file=stream)
+        return 0
+    print(f"all {len(result.reports)} scenario(s) verified", file=stream)
+    return 0
+
+
+def _run_scenarios_command(args, stream) -> int:
+    if args.scenario_command == "list":
+        return _scenarios_list(stream)
+    if args.scenario_command == "run":
+        return _scenarios_run(args, stream)
+    return _scenarios_verify(args, stream)
+
+
 def main(argv: Sequence[str] | None = None, stream=None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -135,6 +293,8 @@ def main(argv: Sequence[str] | None = None, stream=None) -> int:
         return _run_experiments(args.experiments, args, stream)
     if args.command == "all":
         return _run_experiments(list(ALL_EXPERIMENTS), args, stream)
+    if args.command == "scenarios":
+        return _run_scenarios_command(args, stream)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse handles this
     return 2  # pragma: no cover
 

@@ -12,7 +12,7 @@ vertex (edges internal to the instance disappear).
 from __future__ import annotations
 
 from repro.graphs.labeled_graph import LabeledGraph, VertexId
-from repro.mining.subdue.substructure import Instance, Substructure, select_non_overlapping
+from repro.mining.subdue.substructure import Instance, Substructure
 
 
 def compress_graph(
@@ -27,7 +27,7 @@ def compress_graph(
     instance vertex and an outside vertex, or between two different
     instances) are preserved and re-attached.
     """
-    instances = select_non_overlapping(substructure.instances)
+    instances = substructure.non_overlapping()
     return compress_instances(host, instances, replacement_label)
 
 

@@ -26,7 +26,7 @@ from repro.graphs.isomorphism import has_embedding
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.mining.subdue.compression import compress_instances
 from repro.mining.subdue.mdl import description_length, graph_size
-from repro.mining.subdue.substructure import Substructure, select_non_overlapping
+from repro.mining.subdue.substructure import Substructure
 
 
 def _host_label_counts(
@@ -58,7 +58,7 @@ def _compression_stats(host: LabeledGraph, substructure: Substructure) -> dict[s
     Those merged edges still have to be described in a lossless encoding,
     so the evaluation functions add them back explicitly.
     """
-    instances = select_non_overlapping(substructure.instances)
+    instances = substructure.non_overlapping()
     compressed = compress_instances(host, instances)
     internal_edges = sum(instance.n_edges for instance in instances)
     covered_vertices = sum(len(instance.vertices) for instance in instances)

@@ -55,7 +55,7 @@ def expand_instance(host: LabeledGraph, instance: Instance) -> list[Instance]:
     """All one-edge extensions of *instance* using edges incident on it."""
     extensions: list[Instance] = []
     seen: set[frozenset] = set()
-    for vertex in instance.vertices:
+    for vertex in sorted(instance.vertices, key=str):
         for edge in host.incident_edges(vertex):
             if edge in instance.edges:
                 continue

@@ -151,12 +151,17 @@ class SubdueMiner:
 
     @staticmethod
     def _keep_best(substructures: list[Substructure], count: int) -> list[Substructure]:
-        """The *count* highest-valued substructures, deduplicated by pattern fingerprint."""
+        """The *count* highest-valued substructures, deduplicated by pattern fingerprint.
+
+        Value ties are broken by the fingerprint so the beam (and the
+        reported best list) is identical whatever order candidates were
+        discovered in — discovery order varies with the hash seed.
+        """
         unique: dict[str, Substructure] = {}
         for substructure in substructures:
             key = substructure.invariant()
             existing = unique.get(key)
             if existing is None or substructure.value > existing.value:
                 unique[key] = substructure
-        ordered = sorted(unique.values(), key=lambda s: s.value, reverse=True)
-        return ordered[:count]
+        ordered = sorted(unique.items(), key=lambda item: (-item[1].value, item[0]))
+        return [substructure for _, substructure in ordered[:count]]

@@ -46,12 +46,27 @@ class Instance:
         return len(self.edges)
 
 
+def instance_key(instance: Instance) -> tuple:
+    """A total order over instances independent of hash seed.
+
+    Instances live in frozensets whose iteration order follows the
+    process hash seed; everything that turns instances into an ordered
+    choice (greedy non-overlap selection, expansion, truncation) sorts by
+    this key first so SUBDUE output is identical across interpreter runs.
+    """
+    return (
+        len(instance.edges),
+        sorted((str(e.source), str(e.label), str(e.target)) for e in instance.edges),
+        sorted(str(v) for v in instance.vertices),
+    )
+
+
 def instance_pattern(host: LabeledGraph, instance: Instance) -> LabeledGraph:
     """The pattern graph an instance represents (host labels preserved)."""
     pattern = LabeledGraph(name="substructure")
-    for vertex in instance.vertices:
+    for vertex in sorted(instance.vertices, key=str):
         pattern.add_vertex(vertex, host.vertex_label(vertex))
-    for edge in instance.edges:
+    for edge in sorted(instance.edges, key=lambda e: (str(e.source), str(e.target), str(e.label))):
         pattern.add_edge(edge.source, edge.target, edge.label)
     return pattern
 
@@ -60,11 +75,13 @@ def select_non_overlapping(instances: list[Instance]) -> list[Instance]:
     """Greedy maximal set of vertex-disjoint instances.
 
     The paper's experiments disallow overlapping patterns, so substructure
-    value is computed from vertex-disjoint instances only.
+    value is computed from vertex-disjoint instances only.  Candidates are
+    visited in :func:`instance_key` order, so the selection (and with it
+    every instance count and MDL value) does not depend on the hash seed.
     """
     chosen: list[Instance] = []
     used: set[VertexId] = set()
-    for instance in instances:
+    for instance in sorted(instances, key=instance_key):
         if instance.vertices & used:
             continue
         chosen.append(instance)
@@ -74,21 +91,46 @@ def select_non_overlapping(instances: list[Instance]) -> list[Instance]:
 
 @dataclass
 class Substructure:
-    """A pattern graph plus its instances in the host graph."""
+    """A pattern graph plus its instances in the host graph.
+
+    ``instances`` should be *rebound* (assigned a new list), not mutated
+    in place: the non-overlapping selection is cached against the list
+    object itself (the kept reference also pins it, so a recycled
+    allocation can never false-match).  Callers that must mutate in
+    place call :meth:`invalidate` afterwards.
+    """
 
     pattern: LabeledGraph
     instances: list[Instance] = field(default_factory=list)
     value: float = 0.0
+    _non_overlap_cache: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_instances(self) -> int:
         """Number of (possibly overlapping) instances found."""
         return len(self.instances)
 
+    def non_overlapping(self) -> list[Instance]:
+        """The greedy vertex-disjoint selection, computed once per instance list.
+
+        Candidate filtering, evaluation, and compression all need the
+        same selection, and the sort inside :func:`select_non_overlapping`
+        is the hottest per-candidate work — so the result is cached and
+        recomputed whenever :attr:`instances` is rebound to another list
+        (the miner truncates by assigning a new, shorter one).
+        """
+        if self._non_overlap_cache is None or self._non_overlap_cache[0] is not self.instances:
+            self._non_overlap_cache = (self.instances, select_non_overlapping(self.instances))
+        return self._non_overlap_cache[1]
+
+    def invalidate(self) -> None:
+        """Drop the cached non-overlapping selection after an in-place mutation."""
+        self._non_overlap_cache = None
+
     @property
     def n_non_overlapping(self) -> int:
         """Number of vertex-disjoint instances (the count SUBDUE reports)."""
-        return len(select_non_overlapping(self.instances))
+        return len(self.non_overlapping())
 
     @property
     def n_edges(self) -> int:

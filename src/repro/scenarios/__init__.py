@@ -1,0 +1,85 @@
+"""Scenario workloads and the differential verification harness.
+
+The test-side counterpart of the mining stack: a registry of named,
+seeded workloads (:mod:`repro.scenarios.corpora`) that every engine —
+FSG, SUBDUE, structural partitioning, recall — is run against under
+every runtime (serial, sharded K=2/3, serial + process backends) and the
+legacy matcher, with outcomes condensed into canonical digests pinned
+under ``tests/golden/`` (:mod:`repro.scenarios.golden`).
+
+Quick tour::
+
+    from repro.scenarios import get_scenario, run_scenario, differential_check
+
+    outcome = run_scenario(get_scenario("dense-uniform"))
+    print(outcome.digest, len(outcome.payload["fsg"]))
+    report = differential_check(get_scenario("planted-patterns"))
+    assert report.ok
+
+or from the command line::
+
+    python -m repro.cli scenarios list
+    python -m repro.cli scenarios run dense-uniform
+    python -m repro.cli scenarios verify [--update-golden]
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import (
+    BRIDGE_LABEL,
+    MiningParams,
+    Scenario,
+    ScenarioData,
+    get_scenario,
+    iter_scenarios,
+    register,
+    scenario_names,
+    stitch_transactions,
+)
+from repro.scenarios.harness import (
+    DEFAULT_SHARD_COUNTS,
+    DifferentialReport,
+    ScenarioOutcome,
+    check_invariants,
+    check_legacy_oracle,
+    differential_check,
+    pattern_code,
+    payload_digest,
+    run_scenario,
+)
+from repro.scenarios.golden import (
+    VerificationResult,
+    default_golden_path,
+    load_golden,
+    save_golden,
+    verify_scenarios,
+)
+
+# Importing the corpora module registers the built-in scenarios.
+from repro.scenarios import corpora as _corpora  # noqa: F401
+
+__all__ = [
+    "BRIDGE_LABEL",
+    "DEFAULT_SHARD_COUNTS",
+    "DifferentialReport",
+    "MiningParams",
+    "Scenario",
+    "ScenarioData",
+    "ScenarioOutcome",
+    "VerificationResult",
+    "check_invariants",
+    "check_legacy_oracle",
+    "default_golden_path",
+    "differential_check",
+    "get_scenario",
+    "iter_scenarios",
+    "load_golden",
+    "pattern_code",
+    "payload_digest",
+    "register",
+    "run_scenario",
+    "save_golden",
+    "scenario_names",
+    "stitch_transactions",
+    "verify_scenarios",
+]

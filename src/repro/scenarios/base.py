@@ -1,0 +1,129 @@
+"""The scenario registry: named, seeded, deterministic mining workloads.
+
+A :class:`Scenario` bundles everything the verification harness needs to
+exercise the whole mining stack on one kind of data: a deterministic
+corpus builder (graph transactions plus a stitched single-graph host),
+the mining knobs sized for that corpus, and optional planted ground truth
+for recall measurement.  Scenarios are registered by name in a module
+registry so tests, the CLI, and CI all enumerate exactly the same
+workloads.
+
+Builders receive only their scenario's seed and must be pure functions of
+it — building a scenario twice yields byte-identical graphs, which is
+what makes golden digests and cross-runtime differential checks possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.patterns.planted import PlantedPattern
+
+#: Label of the connector edges used to stitch transactions into a host.
+BRIDGE_LABEL = "__bridge__"
+
+
+@dataclass
+class ScenarioData:
+    """What a scenario builder produces: the corpus and its host graph."""
+
+    transactions: list[LabeledGraph]
+    host: LabeledGraph
+    ground_truth: list[PlantedPattern] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.transactions:
+            raise ValueError("a scenario must produce at least one transaction")
+
+
+@dataclass(frozen=True)
+class MiningParams:
+    """Per-scenario mining knobs, sized so every engine finishes quickly."""
+
+    fsg_min_support: int = 3
+    fsg_max_edges: int = 3
+    structural_k: int = 4
+    structural_repetitions: int = 2
+    structural_min_support: int = 2
+    structural_max_edges: int = 2
+    subdue_beam: int = 3
+    subdue_max_best: int = 3
+    subdue_max_edges: int = 3
+    subdue_limit: int = 80
+    recall_partial_fraction: float = 0.5
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded workload for the differential verification harness."""
+
+    name: str
+    description: str
+    builder: Callable[[int], ScenarioData]
+    seed: int = 20050405
+    tags: tuple[str, ...] = ()
+    params: MiningParams = field(default_factory=MiningParams)
+
+    def build(self) -> ScenarioData:
+        """Build the scenario's deterministic dataset."""
+        return self.builder(self.seed)
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add *scenario* to the registry; duplicate names are programmer errors."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names in registration order."""
+    return list(_REGISTRY)
+
+
+def iter_scenarios(names: Sequence[str] | None = None) -> Iterator[Scenario]:
+    """Yield the named scenarios (all of them when *names* is ``None``)."""
+    for name in names if names is not None else scenario_names():
+        yield get_scenario(name)
+
+
+def stitch_transactions(transactions: Sequence[LabeledGraph]) -> LabeledGraph:
+    """Join a transaction corpus into one connected host graph.
+
+    Each transaction is copied with namespaced vertex ids, then consecutive
+    transactions are linked by a single :data:`BRIDGE_LABEL` edge between
+    their first vertices.  The result is the deterministic single-graph
+    view of a corpus, suitable for SUBDUE and repeated-partitioning runs;
+    the bridge label never appears inside a transaction, so planted
+    structure survives intact.
+    """
+    host = LabeledGraph(name="stitched-host")
+    anchors: list[str] = []
+    for index, transaction in enumerate(transactions):
+        renamed = {vertex: f"t{index}:{vertex}" for vertex in transaction.vertices()}
+        for vertex, new_name in renamed.items():
+            host.add_vertex(new_name, transaction.vertex_label(vertex))
+        for edge in transaction.edges():
+            host.add_edge(renamed[edge.source], renamed[edge.target], edge.label)
+        first = next(iter(transaction.vertices()), None)
+        if first is not None:
+            anchors.append(renamed[first])
+    for previous, current in zip(anchors, anchors[1:]):
+        host.add_edge(previous, current, BRIDGE_LABEL)
+    return host

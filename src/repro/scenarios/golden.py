@@ -1,0 +1,127 @@
+"""Golden-run regression: pinned per-scenario outcome digests.
+
+``tests/golden/scenarios.json`` records, for every registered scenario,
+the SHA-256 digest of its canonical outcome payload plus a few headline
+counts for human diffing.  `verify_scenarios` re-runs the differential
+harness and compares against the pinned digests; `--update-golden` (CLI)
+or ``update=True`` refreshes the file after an intentional change to the
+corpora or the payload format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.scenarios.base import iter_scenarios
+from repro.scenarios.harness import DifferentialReport, differential_check
+
+#: Location of the golden file inside a source checkout.
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def default_golden_path() -> Path:
+    """``tests/golden/scenarios.json`` relative to the source checkout."""
+    return _REPO_ROOT / "tests" / "golden" / "scenarios.json"
+
+
+def load_golden(path: Path | None = None) -> dict[str, dict]:
+    """Load the golden digest table; an absent file is an empty table."""
+    golden_path = path if path is not None else default_golden_path()
+    if not golden_path.exists():
+        return {}
+    return json.loads(golden_path.read_text(encoding="utf-8"))
+
+
+def save_golden(entries: dict[str, dict], path: Path | None = None) -> Path:
+    """Write the golden digest table (sorted, trailing newline)."""
+    golden_path = path if path is not None else default_golden_path()
+    golden_path.parent.mkdir(parents=True, exist_ok=True)
+    golden_path.write_text(
+        json.dumps(entries, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return golden_path
+
+
+def golden_entry(report: DifferentialReport, payload: dict) -> dict:
+    """The pinned record for one scenario: digest plus headline counts."""
+    entry = {
+        "digest": report.digest,
+        "n_transactions": payload["n_transactions"],
+        "n_fsg_patterns": len(payload["fsg"]),
+        "n_subdue": len(payload["subdue"]),
+        "n_structural": len(payload["structural"]),
+    }
+    if "recall" in payload:
+        entry["recall"] = payload["recall"]["recall"]
+    return entry
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one `verify_scenarios` sweep."""
+
+    reports: list[DifferentialReport] = field(default_factory=list)
+    entries: dict[str, dict] = field(default_factory=dict)
+    failures: list[str] = field(default_factory=list)
+    updated_path: Path | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def verify_scenarios(
+    names: Sequence[str] | None = None,
+    shard_counts: Sequence[int] = (2, 3),
+    backends: Sequence[str] = ("serial",),
+    update: bool = False,
+    golden_path: Path | None = None,
+    check_oracle: bool = True,
+) -> VerificationResult:
+    """Differential-check scenarios and compare (or refresh) golden digests.
+
+    Every named scenario (all registered ones by default) runs through
+    :func:`~repro.scenarios.harness.differential_check`; the resulting
+    digest must match the pinned one unless ``update`` is set, in which
+    case the golden file is rewritten with the fresh digests.
+    A partial ``names`` selection with ``update`` only touches those
+    entries; a full update (``names=None``) replaces the table outright,
+    so entries for removed or renamed scenarios do not linger.
+    ``update`` refuses to write when any differential / invariant /
+    oracle check failed — a digest from a diverging stack must never be
+    pinned as golden.
+    """
+    result = VerificationResult()
+    golden = load_golden(golden_path)
+    for scenario in iter_scenarios(names):
+        report = differential_check(
+            scenario,
+            shard_counts=shard_counts,
+            backends=backends,
+            check_oracle=check_oracle,
+        )
+        result.reports.append(report)
+        result.failures.extend(report.failures)
+        entry = golden_entry(report, report.payload)
+        result.entries[scenario.name] = entry
+        pinned = golden.get(scenario.name)
+        if update:
+            continue
+        if pinned is None:
+            result.failures.append(
+                f"{scenario.name}: no golden digest pinned (run with --update-golden)"
+            )
+        elif pinned["digest"] != report.digest:
+            result.failures.append(
+                f"{scenario.name}: digest {report.digest} != golden {pinned['digest']}"
+            )
+    if update and not result.failures:
+        if names is None:
+            golden = dict(result.entries)
+        else:
+            golden.update(result.entries)
+        result.updated_path = save_golden(golden, golden_path)
+    return result

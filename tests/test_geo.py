@@ -43,6 +43,38 @@ class TestRoadMiles:
         assert road_miles(CHICAGO, ATLANTA, circuity_factor=1.5) == pytest.approx(straight * 1.5)
 
 
+class TestGeoEdgeCases:
+    def test_near_antipodal_points_stay_finite(self):
+        # The haversine formula can push sqrt() marginally above 1 for
+        # antipodal pairs; the clamp keeps asin in range.
+        north = Location(41.9, -87.6)
+        antipode = Location(-41.9, 92.4)
+        distance = haversine_miles(north, antipode)
+        assert distance == pytest.approx(3.14159 * 3958.8, rel=0.01)
+
+    def test_pole_to_pole(self):
+        assert haversine_miles(Location(90.0, 0.0), Location(-90.0, 0.0)) == pytest.approx(
+            3.14159 * 3958.8, rel=0.01
+        )
+
+    def test_coordinate_rounding_collapses_nearby_points(self):
+        a = Location(41.9049, -87.649)
+        b = Location(41.9001, -87.641)
+        assert a == b
+        assert haversine_miles(a, b) == pytest.approx(0.0)
+
+    def test_circuity_factor_exactly_one_allowed(self):
+        straight = haversine_miles(CHICAGO, ATLANTA)
+        assert road_miles(CHICAGO, ATLANTA, circuity_factor=1.0) == pytest.approx(straight)
+
+    def test_zero_distance_road_miles(self):
+        assert road_miles(CHICAGO, CHICAGO) == pytest.approx(0.0)
+
+    def test_transit_hours_zero_handling_time(self):
+        assert transit_hours_for_distance(0.0, handling_hours=0.0) == pytest.approx(0.0)
+        assert transit_hours_for_distance(45.0, handling_hours=0.0) == pytest.approx(1.0)
+
+
 class TestTransitHours:
     def test_monotone_in_distance(self):
         assert transit_hours_for_distance(1_000) > transit_hours_for_distance(100)

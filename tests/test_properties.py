@@ -9,8 +9,14 @@ from hypothesis import strategies as st
 
 from repro.datasets.binning import AttributeBinning
 from repro.graphs.canonical import graph_invariant
-from repro.graphs.isomorphism import are_isomorphic, has_embedding
-from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.engine import MatchEngine
+from repro.graphs.isomorphism import (
+    are_isomorphic,
+    has_embedding,
+    legacy_are_isomorphic,
+    legacy_has_embedding,
+)
+from repro.graphs.labeled_graph import LabeledGraph, LabeledMultiGraph
 from repro.mining.interestingness import confidence, leverage, lift
 from repro.partitioning.split_graph import PartitionStrategy, coverage_is_exact, split_graph
 
@@ -36,6 +42,32 @@ def labeled_graphs(draw, max_vertices: int = 7, max_edges: int = 12):
             continue
         label = draw(st.integers(min_value=0, max_value=3))
         graph.add_edge(f"v{source}", f"v{target}", label)
+    return graph
+
+
+@st.composite
+def labeled_multigraphs(draw, max_vertices: int = 6, max_lanes: int = 10):
+    """A random multigraph whose lanes may carry several parallel edges.
+
+    Parallel edges are what distinguish a multigraph corpus; each lane
+    gets 1-4 copies with independently drawn labels, so ``simplify`` has
+    real label-vote work to do.
+    """
+    n_vertices = draw(st.integers(min_value=2, max_value=max_vertices))
+    graph = LabeledMultiGraph()
+    for index in range(n_vertices):
+        graph.add_vertex(f"v{index}", draw(st.sampled_from(["place", "depot"])))
+    n_lanes = draw(st.integers(min_value=0, max_value=max_lanes))
+    for _ in range(n_lanes):
+        source = draw(st.integers(min_value=0, max_value=n_vertices - 1))
+        target = draw(st.integers(min_value=0, max_value=n_vertices - 1))
+        if source == target:
+            continue
+        copies = draw(st.integers(min_value=1, max_value=4))
+        for _ in range(copies):
+            graph.add_edge(
+                f"v{source}", f"v{target}", draw(st.sampled_from(["am", "pm", "night"]))
+            )
     return graph
 
 
@@ -93,6 +125,80 @@ class TestGraphProperties:
         clone = graph.copy()
         assert are_isomorphic(graph, clone)
         assert clone.n_edges == graph.n_edges
+
+
+# ----------------------------------------------------------------------
+# Multigraph properties
+# ----------------------------------------------------------------------
+class TestMultigraphProperties:
+    @given(labeled_multigraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_simplify_collapses_to_simple_edge_count(self, multigraph):
+        simple = multigraph.simplify()
+        assert simple.n_edges == multigraph.n_simple_edges
+        assert simple.n_vertices == multigraph.n_vertices
+        assert simple.n_edges <= multigraph.n_edges
+
+    @given(labeled_multigraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_simplified_labels_come_from_parallel_groups(self, multigraph):
+        simple = multigraph.simplify()
+        for edge in simple.edges():
+            assert edge.label in multigraph.parallel_labels(edge.source, edge.target)
+
+    @given(labeled_multigraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sums_count_distinct_neighbours(self, multigraph):
+        # Multigraph degrees follow the paper's convention: distinct
+        # neighbours, so parallel edges do not inflate them and each lane
+        # (ordered vertex pair) contributes exactly one to each sum.
+        total_out = sum(multigraph.out_degree(v) for v in multigraph.vertices())
+        total_in = sum(multigraph.in_degree(v) for v in multigraph.vertices())
+        assert total_out == multigraph.n_simple_edges
+        assert total_in == multigraph.n_simple_edges
+        assert multigraph.n_simple_edges <= multigraph.n_edges
+
+    @given(labeled_multigraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_simplify_first_vs_most_common_agree_on_structure(self, multigraph):
+        most_common = multigraph.simplify(label_choice="most_common")
+        first = multigraph.simplify(label_choice="first")
+        assert {(e.source, e.target) for e in most_common.edges()} == {
+            (e.source, e.target) for e in first.edges()
+        }
+
+
+# ----------------------------------------------------------------------
+# Engine-vs-legacy differential properties
+# ----------------------------------------------------------------------
+class TestEngineLegacyAgreement:
+    @given(labeled_graphs(), labeled_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_isomorphism_verdicts_agree(self, first, second):
+        engine = MatchEngine()
+        assert engine.are_isomorphic(first, second) == legacy_are_isomorphic(first, second)
+
+    @given(labeled_graphs(), st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=40, deadline=None)
+    def test_renamed_copy_is_isomorphic_under_both_matchers(self, graph, seed):
+        copy = _shuffled_copy(graph, seed)
+        engine = MatchEngine()
+        assert engine.are_isomorphic(graph, copy)
+        assert legacy_are_isomorphic(graph, copy)
+
+    @given(labeled_graphs(), labeled_graphs(max_vertices=4, max_edges=4))
+    @settings(max_examples=40, deadline=None)
+    def test_embedding_verdicts_agree(self, target, pattern):
+        engine = MatchEngine()
+        assert engine.has_embedding(pattern, target) == legacy_has_embedding(pattern, target)
+
+    @given(labeled_multigraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_simplified_multigraph_embeds_in_itself_under_both(self, multigraph):
+        simple = multigraph.simplify()
+        engine = MatchEngine()
+        assert engine.has_embedding(simple, simple)
+        assert legacy_has_embedding(simple, simple)
 
 
 # ----------------------------------------------------------------------

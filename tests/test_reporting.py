@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.results import ExperimentReport
+from repro.datasets.schema import TransactionDataset
 from repro.datasets.statistics import compute_statistics
+from repro.graphs.labeled_graph import LabeledGraph
 from repro.graphs.motifs import hub_and_spoke
 from repro.mining.em_clustering import ClusterSummary
 from repro.partitioning.temporal import partition_by_date, summarize_transactions
@@ -58,6 +62,66 @@ class TestFigures:
 
     def test_render_bar_chart_empty(self):
         assert "(no data)" in render_bar_chart({})
+
+    def test_render_bar_chart_all_zero_values(self):
+        # A zero maximum must not divide by zero; bars are just empty.
+        text = render_bar_chart({"c0": 0.0, "c1": 0.0})
+        assert "0.0" in text
+
+    def test_render_pattern_empty_graph(self):
+        text = render_pattern(LabeledGraph(), title="empty")
+        assert "0 vertices, 0 edges" in text
+        assert "shape=other" in text
+
+    def test_render_cluster_summaries_empty_outcome_table(self):
+        text = render_cluster_summaries([])
+        # Header row only: no cluster lines, no crash.
+        assert "cluster" in text
+        assert text.count("\n") == 2
+
+    def test_render_cluster_summaries_missing_attribute_is_nan(self):
+        summaries = [ClusterSummary(index=0, size=1, means={}, std_devs={})]
+        text = render_cluster_summaries(summaries, attributes=("TOTAL_DISTANCE",))
+        assert "nan" in text
+
+
+class TestEmptyInputs:
+    """Zero-transaction datasets and empty outcome tables fail loudly, not weirdly."""
+
+    def test_statistics_of_empty_dataset_raises(self):
+        with pytest.raises(ValueError, match="empty dataset"):
+            compute_statistics(TransactionDataset(name="empty"))
+
+    def test_temporal_summary_of_empty_transactions_raises(self):
+        with pytest.raises(ValueError, match="empty transaction list"):
+            summarize_transactions([])
+
+    def test_empty_dataset_accessors_are_empty(self):
+        dataset = TransactionDataset(name="empty")
+        assert len(dataset) == 0
+        assert dataset.locations == set()
+        assert dataset.od_pairs == set()
+        assert dataset.to_records() == []
+        with pytest.raises(ValueError):
+            dataset.date_range()
+
+    def test_filter_to_empty_keeps_name_and_raises_on_stats(self, tiny_dataset):
+        empty = tiny_dataset.filter(lambda txn: False)
+        assert empty.name == tiny_dataset.name
+        assert len(empty) == 0
+        with pytest.raises(ValueError):
+            compute_statistics(empty)
+
+    def test_render_comparison_with_no_metrics(self):
+        report = ExperimentReport(
+            experiment_id="E0", description="empty", paper={}, measured={}
+        )
+        text = render_comparison(report)
+        assert "empty" in text
+        assert agreement_summary(report) == {}
+
+    def test_render_comparisons_of_nothing_is_empty_string(self):
+        assert render_comparisons([]) == ""
 
 
 class TestComparison:
