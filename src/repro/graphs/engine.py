@@ -16,7 +16,13 @@ bottoms out in label-preserving subgraph isomorphism.  A
 * registered transactions get a TID-keyed LRU of
   ``(pattern canonical code, transaction id)`` match verdicts, so a
   pattern re-queried against the same transaction — across FSG levels or
-  mining repetitions — is answered from cache.
+  mining repetitions — is answered from cache;
+* level-wise miners get the *embedding store*
+  (:meth:`MatchEngine.support_with_embeddings`): bounded per-``(pattern,
+  tid)`` anchor embeddings kept alongside the verdict LRU, so a
+  level-(k+1) candidate — its parent plus exactly one edge — is answered
+  by extending a stored parent embedding instead of searching from
+  scratch, with the full search as correctness fallback.
 
 Caching contract
 ----------------
@@ -59,6 +65,12 @@ class EngineStats:
     verdict_misses: int = 0
     batch_calls: int = 0
     batch_patterns: int = 0
+    anchor_seeds: int = 0
+    anchor_extensions: int = 0
+    anchor_complete_rejects: int = 0
+    anchor_fallbacks: int = 0
+    anchors_stored: int = 0
+    support_aborts: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """A plain-dict snapshot (stable keys, safe to ship across processes)."""
@@ -70,6 +82,12 @@ class EngineStats:
             "verdict_misses": self.verdict_misses,
             "batch_calls": self.batch_calls,
             "batch_patterns": self.batch_patterns,
+            "anchor_seeds": self.anchor_seeds,
+            "anchor_extensions": self.anchor_extensions,
+            "anchor_complete_rejects": self.anchor_complete_rejects,
+            "anchor_fallbacks": self.anchor_fallbacks,
+            "anchors_stored": self.anchors_stored,
+            "support_aborts": self.support_aborts,
         }
 
 
@@ -92,6 +110,74 @@ class _BatchedPattern:
         self.plans: _Plan | None = None
 
 
+@dataclass
+class EmbeddingTask:
+    """One pattern of an incremental support batch.
+
+    ``extension`` describes the single edge the pattern adds over the
+    parent identified by ``parent_uid``, in the pattern's *compact vertex
+    positions*: ``(source_position, target_position, has_new_vertex)``.
+    When ``has_new_vertex`` is true, the brand-new vertex is the one at
+    the pattern's last position (candidate generation appends it), and it
+    is whichever extension endpoint equals ``n_vertices - 1``.  Level-1
+    patterns and patterns with no stored parent leave both ``parent_uid``
+    and ``extension`` as ``None`` and are answered by anchor seeding /
+    full search.
+
+    ``abort_below`` is the early-abort bound: once even a hit on every
+    remaining scheduled tid cannot lift the pattern's support to that
+    count, its scan stops (the returned tid list is then a subset of the
+    true support, but always of size ``< abort_below``, so a thresholding
+    caller discards it either way).
+    """
+
+    pattern: "LabeledGraph | CompactGraph | GraphIndex"
+    tids: Sequence[int]
+    key: object = None
+    uid: object = None
+    parent_uid: object = None
+    extension: tuple[int, int, bool] | None = None
+    abort_below: int | None = None
+
+
+class _AnchorEntry:
+    """The stored embeddings of one ``(pattern uid, tid)`` pair.
+
+    ``embeddings`` are position-indexed tuples: entry ``p`` is the
+    transaction compact vertex that pattern compact vertex ``p`` maps to.
+    ``complete`` records whether the tuple holds *every* embedding of the
+    pattern in the transaction — only then can a failed extension be
+    turned into a definitive "no embedding" verdict for a child.
+    ``version`` pins the transaction's mutation counter at store time:
+    like index entries and verdicts, anchors of a since-mutated
+    transaction are dead state and must never be extended.
+    """
+
+    __slots__ = ("embeddings", "complete", "version")
+
+    def __init__(
+        self, embeddings: tuple[tuple[int, ...], ...], complete: bool, version: int
+    ) -> None:
+        self.embeddings = embeddings
+        self.complete = complete
+        self.version = version
+
+
+class _IncrementalPattern:
+    """Per-task state hoisted out of the incremental transaction scan."""
+
+    __slots__ = ("index", "task", "key", "hits", "remaining", "dead", "parent_entries")
+
+    def __init__(self, index: GraphIndex, task: EmbeddingTask) -> None:
+        self.index = index
+        self.task = task
+        self.key: object = _NO_KEY
+        self.hits: list[int] = []
+        self.remaining = 0
+        self.dead = False
+        self.parent_entries: dict[int, _AnchorEntry] | None = None
+
+
 class MatchEngine:
     """Indexed subgraph-isomorphism engine shared across mining layers."""
 
@@ -99,9 +185,20 @@ class MatchEngine:
         self,
         label_table: LabelTable | None = None,
         verdict_cache_size: int = 1 << 17,
+        anchor_cap: int = 8,
+        anchor_budget: int = 1 << 20,
     ) -> None:
+        if anchor_cap < 1:
+            raise ValueError(f"anchor_cap must be at least 1, got {anchor_cap}")
         self.table = label_table if label_table is not None else LabelTable()
         self.verdict_cache_size = verdict_cache_size
+        #: Max embeddings kept per (pattern uid, tid) anchor entry.
+        self.anchor_cap = anchor_cap
+        #: Max embeddings kept across the whole store; once reached, new
+        #: entries are simply not recorded (queries fall back to full
+        #: search — slower, never wrong), so the store cannot grow
+        #: unboundedly on adversarial corpora.
+        self.anchor_budget = anchor_budget
         self.stats = EngineStats()
         self._entries: "weakref.WeakKeyDictionary[LabeledGraph, _Entry]" = (
             weakref.WeakKeyDictionary()
@@ -120,6 +217,12 @@ class MatchEngine:
         # triple sets can change after registration.
         self._compact_tids: set[int] = set()
         self._triple_tids: dict[tuple[int, int, int], set[int]] = {}
+        # The embedding store: pattern uid -> tid -> anchor entry.  Uids
+        # are caller-owned opaque tokens (the miner assigns one per
+        # surviving candidate); anchors are engine-local and never cross
+        # a process boundary.
+        self._anchors: dict[object, dict[int, _AnchorEntry]] = {}
+        self._anchor_load = 0
 
     # ------------------------------------------------------------------
     # Indexing
@@ -188,16 +291,20 @@ class MatchEngine:
         return tids
 
     def release_transactions(self, tids: Iterable[int]) -> None:
-        """Drop the strong references held for *tids*.
+        """Drop all state held for *tids*: references, verdicts, anchors.
 
         Tids are never reused (the slots stay occupied), so verdict-cache
-        keys remain unambiguous; the stale verdicts simply age out of the
-        LRU.  A shared engine that serves many mining rounds must release
-        each round's transactions or it retains every graph ever mined —
-        cross-round verdict reuse is impossible anyway because each round
-        gets fresh tids.  Querying a released tid raises.
+        keys remain unambiguous — but entries for released tids can never
+        hit again (a released tid raises before the cache is consulted),
+        so they are evicted here rather than left to squat in the LRU and
+        crowd out live verdicts.  A shared engine that serves many mining
+        rounds must release each round's transactions or it retains every
+        graph ever mined.  Querying a released tid raises.
         """
-        for tid in tids:
+        released = set(tids)
+        if not released:
+            return
+        for tid in released:
             if tid in self._compact_tids:
                 entry = self._transaction_entries[tid]
                 if entry is not None:
@@ -208,11 +315,36 @@ class MatchEngine:
                 self._compact_tids.discard(tid)
             self._transactions[tid] = None
             self._transaction_entries[tid] = None
+        stale = [key for key in self._verdicts if key[1] in released]
+        for key in stale:
+            del self._verdicts[key]
+        for per_tid in self._anchors.values():
+            for tid in released & per_tid.keys():
+                self._anchor_load -= len(per_tid.pop(tid).embeddings)
 
     @property
     def n_transactions(self) -> int:
         """Number of transaction slots (including released ones)."""
         return len(self._transactions)
+
+    def _transaction_index(self, tid: int) -> tuple[int, GraphIndex]:
+        """The ``(version, fresh index)`` of registered transaction *tid*.
+
+        The one per-tid refresh step shared by every support path:
+        raises for released tids and rebuilds the index (updating the
+        fast entry list) when the transaction mutated since it was last
+        indexed.
+        """
+        target = self._transactions[tid]
+        if target is None:
+            raise KeyError(f"transaction {tid} has been released from this engine")
+        version = getattr(target, "_version", 0)
+        entry = self._transaction_entries[tid]
+        if entry.version != version:
+            self.index_of(target)
+            entry = self._entries[target]
+            self._transaction_entries[tid] = entry
+        return version, entry.index
 
     def transaction(self, tid: int) -> LabeledGraph | CompactGraph:
         """The registered transaction with id *tid*; raises if released.
@@ -312,27 +444,34 @@ class MatchEngine:
         self,
         pattern: LabeledGraph,
         tids: Iterable[int] | None = None,
+        min_support: int | None = None,
     ) -> frozenset[int]:
         """Registered transactions (restricted to *tids*) containing *pattern*.
 
         Verdicts are cached per ``(pattern canonical code, tid)`` so the
         same pattern re-queried against the same transaction — e.g. across
         FSG levels or mining repetitions — skips the search entirely.
+
+        *min_support* arms the early-abort bound: once hits so far plus
+        transactions left to scan cannot reach it, scanning stops and the
+        partial hit set is returned.  The partial set is always smaller
+        than *min_support*, so a caller that drops sub-threshold patterns
+        behaves identically with or without the bound — only the wasted
+        tail of the scan disappears.
         """
         p_index = self.index_of(pattern)
         pattern_key = self._pattern_key(p_index)
         scan = sorted(tids) if tids is not None else range(len(self._transactions))
+        remaining = len(scan)
         supported: list[int] = []
-        transactions = self._transactions
-        entries = self._transaction_entries
         verdicts = self._verdicts
         stats = self.stats
         cacheable = pattern_key is not _NO_KEY
-        for tid in scan:
-            target = transactions[tid]
-            if target is None:
-                raise KeyError(f"transaction {tid} has been released from this engine")
-            version = getattr(target, "_version", 0)
+        for position, tid in enumerate(scan):
+            if min_support is not None and len(supported) + (remaining - position) < min_support:
+                stats.support_aborts += 1
+                break
+            version, t_index = self._transaction_index(tid)
             key = None
             if cacheable:
                 key = (pattern_key, tid, version)
@@ -344,12 +483,7 @@ class MatchEngine:
                         supported.append(tid)
                     continue
                 stats.verdict_misses += 1
-            entry = entries[tid]
-            if entry.version != version:
-                self.index_of(target)
-                entry = self._entries[target]
-                entries[tid] = entry
-            verdict = bool(self._compact_embeddings(p_index, entry.index, max_count=1))
+            verdict = bool(self._compact_embeddings(p_index, t_index, max_count=1))
             if key is not None:
                 verdicts[key] = verdict
                 if len(verdicts) > self.verdict_cache_size:
@@ -436,20 +570,9 @@ class MatchEngine:
                 per_tid.setdefault(tid, []).append(position)
 
         supported: list[list[int]] = [[] for _ in batched]
-        transactions = self._transactions
-        entries = self._transaction_entries
         verdicts = self._verdicts
         for tid in sorted(per_tid):
-            target = transactions[tid]
-            if target is None:
-                raise KeyError(f"transaction {tid} has been released from this engine")
-            version = getattr(target, "_version", 0)
-            entry = entries[tid]
-            if entry.version != version:
-                self.index_of(target)
-                entry = self._entries[target]
-                entries[tid] = entry
-            t_index = entry.index
+            version, t_index = self._transaction_index(tid)
             candidate_cache: dict[tuple[int, int, int], list[int]] = {}
             for position in per_tid[tid]:
                 info = batched[position]
@@ -522,6 +645,289 @@ class MatchEngine:
         if info.plans is None:
             info.plans = _plans_for(pattern, _static_matching_order(pattern))
         return bool(_search(pattern, t_index.compact, info.plans, candidates, max_count=1))
+
+    # ------------------------------------------------------------------
+    # Incremental support: the embedding store
+    # ------------------------------------------------------------------
+    def support_with_embeddings(self, tasks: Sequence[EmbeddingTask]) -> list[list[int]]:
+        """Supports of a level batch, answered by extending stored embeddings.
+
+        The level-wise mining recurrence is that every level-(k+1)
+        candidate is its parent pattern plus exactly one edge; this path
+        exploits it.  For each surviving pattern the engine keeps a
+        bounded *anchor* set per supporting transaction — up to
+        ``anchor_cap`` embeddings, position-indexed tuples of transaction
+        vertices — and answers a child's ``(pattern, tid)`` query by
+        extending the parent's anchors by the one new edge:
+
+        * **backward extension** (edge between two existing vertices):
+          one dict probe per anchor;
+        * **forward extension** (edge to a brand-new vertex): a scan of
+          the anchored endpoint's adjacency, filtered by edge label,
+          vertex label, and injectivity;
+        * **extension miss**: if the parent's anchor set is *complete*
+          (it holds every parent embedding), the restriction of any child
+          embedding to the parent's vertices would be in it — so a miss
+          is a definitive "no".  If the set is capped/incomplete, or the
+          parent has no entry at all (cap overflow, budget spill, a
+          released level), the engine falls back to the full indexed
+          backtracking search.  Fallback and extension agree by
+          construction, so anchors change wall-clock, never verdicts.
+
+        Successful queries harvest the child's own anchors (from the
+        extension hits or the fallback's embeddings) under ``task.uid``
+        for the next level.  Single-edge patterns with no parent are
+        seeded straight from the transaction's triple-edge buckets —
+        every embedding of a one-edge pattern is literally an edge.
+
+        Per-task ``abort_below`` arms the same early-abort bound as
+        :meth:`support`; the scan is transaction-major like
+        :meth:`batch_support` and verdicts are written to the same LRU.
+        Returns one ascending tid list per task.
+        """
+        infos = [_IncrementalPattern(self._index_of_any(task.pattern), task) for task in tasks]
+        for info in infos:
+            provided = info.task.key
+            if provided is None:
+                info.key = self._pattern_key(info.index)
+            elif provided is False:
+                info.key = _NO_KEY
+            else:
+                info.key = provided
+        stats = self.stats
+        stats.batch_calls += 1
+        stats.batch_patterns += len(infos)
+
+        per_tid: dict[int, list[int]] = {}
+        compact_tids = self._compact_tids
+        for position, info in enumerate(infos):
+            tids = list(info.task.tids)
+            # Whole-transaction rejection via the inverted triple index,
+            # exactly as in batch_support.  A rejected tid is a definitive
+            # "no", so it also shrinks the early-abort remainder.
+            allowed = self._triple_filter(info.index)
+            if allowed is not None and compact_tids:
+                kept = [tid for tid in tids if tid not in compact_tids or tid in allowed]
+                stats.early_rejects += len(tids) - len(kept)
+                tids = kept
+            info.remaining = len(tids)
+            abort_below = info.task.abort_below
+            if abort_below is not None and info.remaining < abort_below:
+                info.dead = True
+                stats.support_aborts += 1
+                continue
+            if info.task.parent_uid is not None:
+                info.parent_entries = self._anchors.get(info.task.parent_uid)
+            for tid in tids:
+                per_tid.setdefault(tid, []).append(position)
+
+        verdicts = self._verdicts
+        for tid in sorted(per_tid):
+            t_index: GraphIndex | None = None
+            version = 0
+            for position in per_tid[tid]:
+                info = infos[position]
+                if info.dead:
+                    continue
+                info.remaining -= 1
+                if t_index is None:
+                    version, t_index = self._transaction_index(tid)
+                verdict = None
+                key = None
+                if info.key is not _NO_KEY:
+                    key = (info.key, tid, version)
+                    cached = verdicts.get(key)
+                    # A cached "no" is always usable; a cached "yes" only
+                    # when the pattern's own anchors are already stored —
+                    # otherwise skipping the evaluation would skip the
+                    # anchor harvest its children rely on.
+                    if cached is False or (
+                        cached and self._anchors_current(info.task.uid, tid, version)
+                    ):
+                        verdicts.move_to_end(key)
+                        stats.verdict_hits += 1
+                        verdict = cached
+                    else:
+                        stats.verdict_misses += 1
+                if verdict is None:
+                    verdict = self._incremental_exists(info, tid, version, t_index)
+                    if key is not None:
+                        verdicts[key] = verdict
+                        if len(verdicts) > self.verdict_cache_size:
+                            verdicts.popitem(last=False)
+                if verdict:
+                    info.hits.append(tid)
+                abort_below = info.task.abort_below
+                if abort_below is not None and len(info.hits) + info.remaining < abort_below:
+                    info.dead = True
+                    stats.support_aborts += 1
+        return [info.hits for info in infos]
+
+    def drop_anchors(self, uids: Iterable[object]) -> None:
+        """Forget the stored embeddings of *uids* (retired pattern levels)."""
+        for uid in uids:
+            per_tid = self._anchors.pop(uid, None)
+            if per_tid:
+                self._anchor_load -= sum(
+                    len(entry.embeddings) for entry in per_tid.values()
+                )
+
+    @property
+    def anchor_load(self) -> int:
+        """Total embeddings currently held by the store (budget accounting)."""
+        return self._anchor_load
+
+    def _anchors_current(self, uid: object, tid: int, version: int) -> bool:
+        """Whether ``(uid, tid)`` already holds anchors valid at *version*."""
+        if uid is None:
+            return True
+        per_tid = self._anchors.get(uid)
+        entry = per_tid.get(tid) if per_tid else None
+        return entry is not None and entry.version == version
+
+    def _incremental_exists(
+        self, info: _IncrementalPattern, tid: int, version: int, t_index: GraphIndex
+    ) -> bool:
+        """One (task, tid) verdict: extend anchors, seed, or fall back."""
+        task = info.task
+        pattern = info.index.compact
+        if pattern.n_vertices == 0:
+            return True
+        if task.extension is not None and info.parent_entries is not None:
+            parent_entry = info.parent_entries.get(tid)
+            # Anchors of a since-mutated transaction are stale state, not
+            # evidence — same version discipline as the verdict LRU.
+            if parent_entry is not None and parent_entry.version == version:
+                self.stats.anchor_extensions += 1
+                found, embeddings, complete = self._extend_anchors(
+                    pattern, task.extension, parent_entry, t_index.compact
+                )
+                if found:
+                    self._store_anchors(task.uid, tid, embeddings, complete, version)
+                    return True
+                if parent_entry.complete:
+                    self.stats.anchor_complete_rejects += 1
+                    return False
+        if pattern.n_edges == 1 and pattern.n_vertices == 2 and task.extension is None:
+            return self._seed_single_edge(info, tid, version, t_index)
+        self.stats.anchor_fallbacks += 1
+        results = self._compact_embeddings(info.index, t_index, max_count=self.anchor_cap)
+        if not results:
+            return False
+        embeddings = tuple(
+            tuple(mapping[p_vertex] for p_vertex in range(pattern.n_vertices))
+            for mapping in results
+        )
+        self._store_anchors(
+            task.uid, tid, embeddings, len(results) < self.anchor_cap, version
+        )
+        return True
+
+    def _extend_anchors(
+        self,
+        pattern: CompactGraph,
+        extension: tuple[int, int, bool],
+        parent_entry: _AnchorEntry,
+        target: CompactGraph,
+    ) -> tuple[bool, tuple[tuple[int, ...], ...], bool]:
+        """All (capped) one-edge extensions of the parent's anchors.
+
+        Returns ``(found, embeddings, complete)``.  Distinct anchors
+        yield distinct children (they differ on the parent positions), so
+        no deduplication is needed; ``complete`` holds only when the
+        parent set was complete and the cap never truncated enumeration.
+        """
+        src_pos, dst_pos, has_new = extension
+        edge_label = pattern.edge_label_of[(src_pos, dst_pos)]
+        cap = self.anchor_cap
+        out: list[tuple[int, ...]] = []
+        capped = False
+        if not has_new:
+            edge_label_of = target.edge_label_of
+            for anchor in parent_entry.embeddings:
+                if edge_label_of.get((anchor[src_pos], anchor[dst_pos])) == edge_label:
+                    out.append(anchor)
+                    if len(out) >= cap:
+                        capped = True
+                        break
+        else:
+            new_pos = pattern.n_vertices - 1
+            new_label = pattern.vertex_labels[new_pos]
+            t_labels = target.vertex_labels
+            if dst_pos == new_pos:
+                adjacency, anchor_pos = target.out_adj, src_pos
+            else:
+                adjacency, anchor_pos = target.in_adj, dst_pos
+            for anchor in parent_entry.embeddings:
+                for neighbour, label in adjacency[anchor[anchor_pos]]:
+                    if (
+                        label == edge_label
+                        and t_labels[neighbour] == new_label
+                        and neighbour not in anchor
+                    ):
+                        out.append(anchor + (neighbour,))
+                        if len(out) >= cap:
+                            capped = True
+                            break
+                if capped:
+                    break
+        return bool(out), tuple(out), parent_entry.complete and not capped
+
+    def _seed_single_edge(
+        self, info: _IncrementalPattern, tid: int, version: int, t_index: GraphIndex
+    ) -> bool:
+        """Anchor a one-edge pattern from the transaction's triple buckets."""
+        self.stats.anchor_seeds += 1
+        pattern = info.index.compact
+        ((src_pos, dst_pos),) = pattern.edge_label_of
+        edge_label = pattern.edge_label_of[(src_pos, dst_pos)]
+        triple = (
+            pattern.vertex_labels[src_pos],
+            edge_label,
+            pattern.vertex_labels[dst_pos],
+        )
+        pairs = [
+            pair for pair in t_index.triple_edges(triple) if pair[0] != pair[1]
+        ]
+        if not pairs:
+            return False
+        cap = self.anchor_cap
+        embedding_at = [0, 0]
+        embeddings = []
+        for t_src, t_dst in pairs[:cap]:
+            embedding_at[src_pos] = t_src
+            embedding_at[dst_pos] = t_dst
+            embeddings.append(tuple(embedding_at))
+        self._store_anchors(
+            info.task.uid, tid, tuple(embeddings), len(pairs) <= cap, version
+        )
+        return True
+
+    def _store_anchors(
+        self,
+        uid: object,
+        tid: int,
+        embeddings: tuple[tuple[int, ...], ...],
+        complete: bool,
+        version: int,
+    ) -> None:
+        """Record *embeddings* under ``(uid, tid)`` if the budget allows.
+
+        Skipping (anonymous task, or budget exhausted) is always safe:
+        absent entries just push the pattern's children onto the fallback
+        search.  Anchors influence speed, never verdicts.
+        """
+        if uid is None or not embeddings:
+            return
+        if self._anchor_load + len(embeddings) > self.anchor_budget:
+            return
+        per_tid = self._anchors.setdefault(uid, {})
+        previous = per_tid.get(tid)
+        if previous is not None:
+            self._anchor_load -= len(previous.embeddings)
+        per_tid[tid] = _AnchorEntry(embeddings, complete, version)
+        self._anchor_load += len(embeddings)
+        self.stats.anchors_stored += len(embeddings)
 
     def _index_of_any(self, pattern: LabeledGraph | CompactGraph | GraphIndex) -> GraphIndex:
         """An index for *pattern* whatever form it arrives in."""

@@ -52,13 +52,40 @@ def sorted_triples(triples: Iterable[EdgeTriple]) -> list[EdgeTriple]:
     return sorted(triples, key=_triple_sort_key)
 
 
+#: A one-edge extension descriptor in compact vertex positions:
+#: ``(source_position, target_position, has_new_vertex)``.  Positions are
+#: indices into the candidate pattern's vertex insertion order — which
+#: :meth:`repro.graphs.compact.CompactGraph.from_labeled` preserves — and
+#: a new vertex is always appended last, so the descriptor survives the
+#: trip through compact/wire form unchanged.
+Extension = tuple[int, int, bool]
+
+
 @dataclass
 class Candidate:
-    """A candidate pattern together with the parent transactions to scan."""
+    """A candidate pattern together with the parent transactions to scan.
+
+    ``parent_tids`` is the union of every merged parent's supporting set
+    (the legacy scan restriction).  ``parent_bits`` is the *intersection*
+    of the same sets as a bitset: a candidate embeds in a transaction only
+    if every one of its parents does, so when isomorphic duplicates from
+    several parents merge, the intersection is the tightest sound scan
+    set — strictly smaller than any single parent's list whenever the
+    parents disagree.  ``uid`` / ``parent_uid`` / ``extension`` tie the
+    candidate to the engine's embedding store: the candidate is
+    ``parent_uid``'s pattern plus the one ``extension`` edge, and its own
+    anchors are filed under ``uid`` once it survives.  Candidates built
+    without derivation info (legacy call sites, tests) leave them unset
+    and simply take the full-search path.
+    """
 
     pattern: LabeledGraph
     parent_tids: frozenset[int]
     invariant: str = field(default="")
+    parent_bits: int | None = None
+    parent_uid: object = None
+    extension: Extension | None = None
+    uid: object = None
 
     def fingerprint(self) -> str:
         """The pattern's cheap isomorphism-invariant key, computed lazily."""
@@ -118,17 +145,23 @@ def _fresh_vertex_name(pattern: LabeledGraph) -> str:
 def extend_pattern(
     pattern: LabeledGraph,
     frequent_triples: Iterable[EdgeTriple],
-) -> list[LabeledGraph]:
+) -> list[tuple[LabeledGraph, Extension]]:
     """All one-edge extensions of *pattern* using frequent edge triples.
 
     Extensions are of two kinds: attach a new vertex to an existing vertex
     (forward extension) or add an edge between two existing vertices
     (backward extension).  Both directions are considered because the
-    graphs are directed.  The returned list may contain isomorphic
-    duplicates; the caller deduplicates.
+    graphs are directed.  Each extended graph is returned together with
+    its :data:`Extension` descriptor (the new edge in compact vertex
+    positions), which is what lets the embedding store grow a parent
+    embedding into the child instead of searching from scratch.  The
+    returned list may contain isomorphic duplicates; the caller
+    deduplicates.
     """
-    extensions: list[LabeledGraph] = []
+    extensions: list[tuple[LabeledGraph, Extension]] = []
     vertices = list(pattern.vertices())
+    position_of = {vertex: position for position, vertex in enumerate(vertices)}
+    new_position = len(vertices)
     for source_label, edge_label, target_label in frequent_triples:
         for vertex in vertices:
             vertex_label = pattern.vertex_label(vertex)
@@ -138,14 +171,14 @@ def extend_pattern(
                 new_vertex = _fresh_vertex_name(extended)
                 extended.add_vertex(new_vertex, target_label)
                 extended.add_edge(vertex, new_vertex, edge_label)
-                extensions.append(extended)
+                extensions.append((extended, (position_of[vertex], new_position, True)))
             # Forward extension: new vertex -> existing vertex.
             if vertex_label == target_label:
                 extended = pattern.copy()
                 new_vertex = _fresh_vertex_name(extended)
                 extended.add_vertex(new_vertex, source_label)
                 extended.add_edge(new_vertex, vertex, edge_label)
-                extensions.append(extended)
+                extensions.append((extended, (new_position, position_of[vertex], True)))
         # Backward extension: connect two existing vertices.
         for source in vertices:
             if pattern.vertex_label(source) != source_label:
@@ -157,7 +190,9 @@ def extend_pattern(
                     continue
                 extended = pattern.copy()
                 extended.add_edge(source, target, edge_label)
-                extensions.append(extended)
+                extensions.append(
+                    (extended, (position_of[source], position_of[target], False))
+                )
     return extensions
 
 
@@ -185,6 +220,12 @@ def deduplicate(
         for existing in bucket:
             if _same_class(existing.pattern, candidate.pattern, engine):
                 existing.parent_tids = existing.parent_tids | candidate.parent_tids
+                # The candidate embeds nowhere its parent doesn't, for
+                # *every* parent it merged from — so the bitset scan list
+                # tightens to the intersection while the legacy frozenset
+                # stays the historical union.
+                if existing.parent_bits is not None and candidate.parent_bits is not None:
+                    existing.parent_bits &= candidate.parent_bits
                 break
         else:
             bucket.append(candidate)
@@ -209,10 +250,26 @@ def generate_candidates(
     frequent_triples: Iterable[EdgeTriple],
     engine: MatchEngine | None = None,
 ) -> list[Candidate]:
-    """Generate deduplicated (k+1)-edge candidates from frequent k-edge patterns."""
+    """Generate deduplicated (k+1)-edge candidates from frequent k-edge patterns.
+
+    Each candidate records its derivation — the parent's embedding-store
+    uid, the extension edge, and the parent's TID bitset — so the support
+    pass can extend stored parent embeddings instead of searching from
+    scratch.  A deduplicated candidate keeps its first-seen derivation
+    (the one consistent with its own vertex layout) while its scan bitset
+    narrows to the intersection over all merged parents.
+    """
     triples = list(frequent_triples)
     raw: list[Candidate] = []
     for parent in frequent_patterns:
-        for extended in extend_pattern(parent.pattern, triples):
-            raw.append(Candidate(pattern=extended, parent_tids=parent.parent_tids))
+        for extended, extension in extend_pattern(parent.pattern, triples):
+            raw.append(
+                Candidate(
+                    pattern=extended,
+                    parent_tids=parent.parent_tids,
+                    parent_bits=parent.parent_bits,
+                    parent_uid=parent.uid,
+                    extension=extension,
+                )
+            )
     return deduplicate(raw, engine=engine)

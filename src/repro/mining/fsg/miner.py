@@ -17,9 +17,10 @@ vertex labels; see :class:`~repro.mining.fsg.exceptions.MemoryBudgetExceeded`.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.graphs.canonical import CanonicalizationError
 from repro.graphs.engine import MatchEngine
@@ -32,7 +33,21 @@ from repro.mining.fsg.candidates import (
 )
 from repro.mining.fsg.exceptions import MemoryBudgetExceeded
 from repro.mining.fsg.results import FSGResult, FrequentSubgraph
-from repro.runtime.base import MiningRuntime, SerialRuntime
+from repro.runtime.base import LevelRequest, MiningRuntime, SerialRuntime
+from repro.runtime.bitsets import (
+    bits_of,
+    is_contiguous,
+    popcount,
+    shift_bits,
+    tids_of,
+    translate_bits,
+)
+
+#: Distinguishes embedding-store uids across mining runs sharing one
+#: runtime (e.g. the repeated-partitioning structural miner): a uid is
+#: ``(run token, counter)``, so anchors from different runs can never
+#: collide even if a run forgets to retire them.
+_RUN_TOKENS = itertools.count()
 
 
 def _resolve_min_support(min_support: float | int, n_transactions: int) -> int:
@@ -86,6 +101,15 @@ class FSGMiner:
         :class:`~repro.runtime.shards.ShardedEngine` to spread support
         counting across worker shards.  The miner never closes a
         caller-supplied runtime.
+    use_embedding_store:
+        Route support counting through the runtime's incremental
+        embedding-store path (default): candidates carry their parents'
+        intersected TID bitsets plus the one extension edge, and each
+        ``(pattern, tid)`` query extends a stored parent embedding
+        instead of searching from scratch, with full search as the
+        correctness fallback.  Mining output is identical either way —
+        ``False`` keeps the pattern-major full-search path for baselines
+        and differential tests.
     """
 
     min_support: float | int = 0.05
@@ -95,6 +119,7 @@ class FSGMiner:
     min_pattern_edges: int = 1
     engine: MatchEngine | None = None
     runtime: MiningRuntime | None = None
+    use_embedding_store: bool = True
 
     def mine(self, transactions: Sequence[LabeledGraph]) -> FSGResult:
         """Mine all frequent connected subgraphs from *transactions*."""
@@ -126,7 +151,16 @@ class FSGMiner:
             n_transactions=n_transactions,
             min_support=support_threshold,
         )
+        use_store = self.use_embedding_store
+        to_global, to_local = _bitset_translators(list(runtime_tids))
+        uids = (
+            zip(itertools.repeat(next(_RUN_TOKENS)), itertools.count())
+            if use_store
+            else None
+        )
+        live_uids: list[object] = []
 
+        level_started = time.perf_counter()
         triples_with_tids = frequent_single_edges(transactions, support_threshold)
         frequent_triples = list(triples_with_tids)
         level_patterns: list[tuple[Candidate, frozenset[int]]] = []
@@ -135,37 +169,82 @@ class FSGMiner:
                 pattern=single_edge_pattern(*triple),
                 parent_tids=tids,
             )
+            if use_store:
+                candidate.uid = next(uids)
+                candidate.parent_bits = bits_of(tids)
             level_patterns.append((candidate, tids))
         result.candidates_generated += len(level_patterns)
         self._record_level(result, level_patterns, level=1)
         result.levels_completed = 1
 
-        level = 1
-        while level_patterns:
-            if self.max_edges is not None and level >= self.max_edges:
-                break
-            parents = [
-                Candidate(pattern=candidate.pattern, parent_tids=tids, invariant=candidate.invariant)
-                for candidate, tids in level_patterns
-            ]
-            candidates = generate_candidates(parents, frequent_triples, engine=engine)
-            result.candidates_generated += len(candidates)
-            if self.memory_budget is not None and len(candidates) > self.memory_budget:
-                if self.abort_on_budget:
-                    raise MemoryBudgetExceeded(level + 1, len(candidates), self.memory_budget)
-                result.aborted = True
-                result.abort_reason = (
-                    f"candidate set at level {level + 1} ({len(candidates)} patterns) "
-                    f"exceeded the memory budget of {self.memory_budget}"
+        try:
+            if use_store and level_patterns:
+                # Prime the embedding store: seed each frequent single
+                # edge's anchors across its (already exact) support, so
+                # level-2 candidates extend instead of searching.
+                live_uids = [candidate.uid for candidate, _ in level_patterns]
+                runtime.batch_support_level(
+                    self._level_requests(
+                        [candidate for candidate, _ in level_patterns], engine, to_global
+                    )
                 )
-                break
-            level_patterns = self._prune_level(
-                candidates, support_threshold, engine, runtime, runtime_tids
-            )
-            level += 1
-            if level_patterns:
-                self._record_level(result, level_patterns, level=level)
-                result.levels_completed = level
+            result.level_seconds[1] = time.perf_counter() - level_started
+
+            level = 1
+            while level_patterns:
+                if self.max_edges is not None and level >= self.max_edges:
+                    break
+                level_started = time.perf_counter()
+                parents = [
+                    Candidate(
+                        pattern=candidate.pattern,
+                        parent_tids=tids,
+                        invariant=candidate.invariant,
+                        parent_bits=bits_of(tids) if use_store else None,
+                        uid=candidate.uid,
+                    )
+                    for candidate, tids in level_patterns
+                ]
+                candidates = generate_candidates(parents, frequent_triples, engine=engine)
+                result.candidates_generated += len(candidates)
+                if self.memory_budget is not None and len(candidates) > self.memory_budget:
+                    if self.abort_on_budget:
+                        raise MemoryBudgetExceeded(level + 1, len(candidates), self.memory_budget)
+                    result.aborted = True
+                    result.abort_reason = (
+                        f"candidate set at level {level + 1} ({len(candidates)} patterns) "
+                        f"exceeded the memory budget of {self.memory_budget}"
+                    )
+                    break
+                if use_store:
+                    for candidate in candidates:
+                        candidate.uid = next(uids)
+                    level_patterns = self._prune_level_incremental(
+                        candidates, support_threshold, engine, runtime, to_global, to_local
+                    )
+                    # The parent level's anchors have served their one
+                    # consumer level, and failed candidates' anchors will
+                    # never have one — retire both, keep the survivors'.
+                    surviving_uids = {candidate.uid for candidate, _ in level_patterns}
+                    retired = live_uids + [
+                        candidate.uid
+                        for candidate in candidates
+                        if candidate.uid not in surviving_uids
+                    ]
+                    runtime.drop_anchors(retired)
+                    live_uids = sorted(surviving_uids)
+                else:
+                    level_patterns = self._prune_level(
+                        candidates, support_threshold, engine, runtime, runtime_tids
+                    )
+                level += 1
+                result.level_seconds[level] = time.perf_counter() - level_started
+                if level_patterns:
+                    self._record_level(result, level_patterns, level=level)
+                    result.levels_completed = level
+        finally:
+            if live_uids:
+                runtime.drop_anchors(live_uids)
         return result
 
     def _prune_level(
@@ -214,6 +293,73 @@ class FSGMiner:
                 surviving.append((candidate, tids))
         return surviving
 
+    def _level_requests(
+        self,
+        candidates: Sequence[Candidate],
+        engine: MatchEngine,
+        to_global: Callable[[int], int],
+    ) -> list[LevelRequest]:
+        """Wrap *candidates* for the runtime's incremental level API.
+
+        Canonical codes were memoized by deduplication an instant ago, so
+        attaching them as verdict keys is a dict probe, not a search.
+        """
+        requests: list[LevelRequest] = []
+        for candidate in candidates:
+            try:
+                key: object = engine.canonical_code(candidate.pattern)
+            except CanonicalizationError:
+                key = False
+            requests.append(
+                LevelRequest(
+                    pattern=candidate.pattern,
+                    tid_bits=to_global(candidate.parent_bits),
+                    key=key,
+                    uid=candidate.uid,
+                    parent_uid=candidate.parent_uid,
+                    extension=candidate.extension,
+                )
+            )
+        return requests
+
+    def _prune_level_incremental(
+        self,
+        candidates: Sequence[Candidate],
+        support_threshold: int,
+        engine: MatchEngine,
+        runtime: MiningRuntime,
+        to_global: Callable[[int], int],
+        to_local: Callable[[int], int],
+    ) -> list[tuple[Candidate, frozenset[int]]]:
+        """Evaluate a level through the embedding store, all-bitset.
+
+        A candidate's support is bounded by the *intersection* of its
+        merged parents' TID sets, so candidates whose intersection is
+        already below threshold never even reach the runtime; the rest
+        ship their derivation (parent uid + extension edge) so shards
+        extend stored parent embeddings, with ``min_support`` arming the
+        per-pattern early abort.  Aborted candidates return partial
+        bitsets of population below threshold and are dropped here, so
+        survivors — the only thing the next level and the result see —
+        are exact whatever the runtime did.
+        """
+        viable = [
+            candidate
+            for candidate in candidates
+            if popcount(candidate.parent_bits) >= support_threshold
+        ]
+        supports = runtime.batch_support_level(
+            self._level_requests(viable, engine, to_global),
+            min_support=support_threshold,
+        )
+        surviving: list[tuple[Candidate, frozenset[int]]] = []
+        for candidate, global_bits in zip(viable, supports):
+            if popcount(global_bits) >= support_threshold:
+                surviving.append(
+                    (candidate, frozenset(tids_of(to_local(global_bits))))
+                )
+        return surviving
+
     def _record_level(
         self,
         result: FSGResult,
@@ -230,6 +376,27 @@ class FSGMiner:
                     supporting_transactions=tids,
                 )
             )
+
+
+def _bitset_translators(runtime_tids: list[int]):
+    """(local->global, global->local) bitset translators for one run.
+
+    Runtimes allocate a run's global tids consecutively, so translation
+    is normally a single shift; the per-bit remap is kept as a fallback
+    for any runtime that ever hands out a gappy allocation.
+    """
+    if is_contiguous(runtime_tids):
+        base = runtime_tids[0] if runtime_tids else 0
+        return (
+            lambda bits: shift_bits(bits, base),
+            lambda bits: shift_bits(bits, -base),
+        )
+    global_of = runtime_tids
+    local_of = {global_tid: local for local, global_tid in enumerate(runtime_tids)}
+    return (
+        lambda bits: translate_bits(bits, global_of),
+        lambda bits: translate_bits(bits, local_of),
+    )
 
 
 def mine_frequent_subgraphs(

@@ -55,6 +55,10 @@ class FSGResult:
     candidates_generated: int = 0
     aborted: bool = False
     abort_reason: str = ""
+    #: Wall-clock seconds spent per level (candidate generation +
+    #: support counting for that level); keyed by the level's edge count.
+    #: Purely observational — never part of any digest or comparison.
+    level_seconds: dict[int, float] = field(default_factory=dict, compare=False)
 
     def __len__(self) -> int:
         return len(self.patterns)

@@ -32,6 +32,7 @@ def supporting_transactions(
     restrict_to_parent_tids: bool = True,
     engine: MatchEngine | None = None,
     tid_offset: int = 0,
+    min_support: int | None = None,
 ) -> frozenset[int]:
     """The ids of transactions containing the candidate pattern.
 
@@ -40,6 +41,13 @@ def supporting_transactions(
     across mining rounds, so local indices are offset into its global tid
     space) and matching goes through the engine's indexed, cached path.
     The returned ids are always local indices into *transactions*.
+
+    *min_support* arms the early-abort bound: the scan of a candidate
+    stops as soon as even a hit on every unscanned transaction could not
+    lift its support to the threshold.  The partial result is then always
+    below *min_support*, so thresholding callers (``prune_infrequent``,
+    the miner) are unaffected — doomed candidates just stop burning
+    matcher time on their hopeless tails.
     """
     if restrict_to_parent_tids:
         tids_to_scan = sorted(candidate.parent_tids)
@@ -47,14 +55,19 @@ def supporting_transactions(
         tids_to_scan = range(len(transactions))
     if engine is not None:
         supported_global = engine.support(
-            candidate.pattern, (tid + tid_offset for tid in tids_to_scan)
+            candidate.pattern,
+            (tid + tid_offset for tid in tids_to_scan),
+            min_support=min_support,
         )
         return frozenset(tid - tid_offset for tid in supported_global)
-    supported = {
-        tid
-        for tid in tids_to_scan
-        if has_embedding(candidate.pattern, transactions[tid])
-    }
+    supported: set[int] = set()
+    remaining = len(tids_to_scan)
+    for tid in tids_to_scan:
+        if min_support is not None and len(supported) + remaining < min_support:
+            break
+        remaining -= 1
+        if has_embedding(candidate.pattern, transactions[tid]):
+            supported.add(tid)
     return frozenset(supported)
 
 
@@ -88,7 +101,11 @@ def prune_infrequent(
     surviving: list[tuple[Candidate, frozenset[int]]] = []
     for candidate in candidates:
         tids = supporting_transactions(
-            candidate, transactions, engine=engine, tid_offset=tid_offset
+            candidate,
+            transactions,
+            engine=engine,
+            tid_offset=tid_offset,
+            min_support=min_support,
         )
         if len(tids) >= min_support:
             surviving.append((candidate, tids))

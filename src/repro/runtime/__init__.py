@@ -27,33 +27,40 @@ from __future__ import annotations
 from repro.graphs.engine import MatchEngine
 from repro.runtime.base import (
     BACKENDS,
+    LevelRequest,
     MiningRuntime,
     SerialRuntime,
     merge_stats,
     resolve_backend,
     resolve_workers,
 )
-from repro.runtime.planner import BatchSupportPlanner, ShardBatch
+from repro.runtime.bitsets import bits_of, popcount, tids_of
+from repro.runtime.planner import BatchSupportPlanner, ShardBatch, ShardLevelBatch
 from repro.runtime.pool import ProcessBackend, SerialBackend, WorkerError, WorkerPool, make_pool
 from repro.runtime.shards import ShardedEngine, ShardWorker
 
 __all__ = [
     "BACKENDS",
     "BatchSupportPlanner",
+    "LevelRequest",
     "MiningRuntime",
     "ProcessBackend",
     "SerialBackend",
     "SerialRuntime",
     "ShardBatch",
+    "ShardLevelBatch",
     "ShardWorker",
     "ShardedEngine",
     "WorkerError",
     "WorkerPool",
+    "bits_of",
     "create_runtime",
     "make_pool",
     "merge_stats",
+    "popcount",
     "resolve_backend",
     "resolve_workers",
+    "tids_of",
 ]
 
 

@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.graphs.engine import MatchEngine
+from repro.graphs.engine import EmbeddingTask, MatchEngine
 from repro.graphs.labeled_graph import LabeledGraph
+from repro.runtime.bitsets import bits_of, tids_of
 
 #: Environment variable supplying the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -72,6 +74,26 @@ def merge_stats(snapshots: Iterable[dict[str, int]]) -> dict[str, int]:
     return merged
 
 
+@dataclass
+class LevelRequest:
+    """One candidate of an incremental per-level support batch.
+
+    ``tid_bits`` is the candidate's scan set as a *global-tid bitset* —
+    for a derived candidate, the intersection of its parents' supporting
+    sets.  ``uid`` / ``parent_uid`` / ``extension`` address the engine's
+    embedding store (see :class:`~repro.graphs.engine.EmbeddingTask`);
+    anchors are engine-local (shard-local under a sharded runtime), so a
+    request ships only these small tokens, never embeddings.
+    """
+
+    pattern: LabeledGraph
+    tid_bits: int
+    key: object = None
+    uid: object = None
+    parent_uid: object = None
+    extension: tuple[int, int, bool] | None = None
+
+
 class MiningRuntime(ABC):
     """Execution substrate for TID-based support counting.
 
@@ -112,6 +134,28 @@ class MiningRuntime(ABC):
     ) -> frozenset[int]:
         """Supporting global tids of a single pattern."""
         return self.batch_support([pattern], None if tids is None else [tids])[0]
+
+    @abstractmethod
+    def batch_support_level(
+        self,
+        requests: Sequence[LevelRequest],
+        min_support: int | None = None,
+    ) -> list[int]:
+        """Per-request supporting-tid *bitsets* for one mining level.
+
+        The incremental counterpart of :meth:`batch_support`: requests
+        carry global-tid bitsets and embedding-store derivations, answers
+        come back as global-tid bitsets (shard results merge with ``|``).
+        *min_support* arms per-pattern early abort — a request whose
+        support provably cannot reach it may return a partial bitset,
+        always of population below the threshold.  Requests whose
+        patterns survive are counted exactly; together with the exactness
+        of extension-vs-search verdicts this keeps every runtime's mining
+        output identical to the serial full-search reference.
+        """
+
+    def drop_anchors(self, uids: Iterable[object]) -> None:
+        """Forget stored embeddings for *uids* on every shard (no-op default)."""
 
     @abstractmethod
     def stats(self) -> dict[str, int]:
@@ -163,6 +207,28 @@ class SerialRuntime(MiningRuntime):
             )
             for position, pattern in enumerate(patterns)
         ]
+
+    def batch_support_level(
+        self,
+        requests: Sequence[LevelRequest],
+        min_support: int | None = None,
+    ) -> list[int]:
+        tasks = [
+            EmbeddingTask(
+                pattern=request.pattern,
+                tids=tids_of(request.tid_bits),
+                key=request.key,
+                uid=request.uid,
+                parent_uid=request.parent_uid,
+                extension=request.extension,
+                abort_below=min_support,
+            )
+            for request in requests
+        ]
+        return [bits_of(tids) for tids in self.engine.support_with_embeddings(tasks)]
+
+    def drop_anchors(self, uids: Iterable[object]) -> None:
+        self.engine.drop_anchors(uids)
 
     def stats(self) -> dict[str, int]:
         snapshot = self.engine.stats_snapshot()

@@ -1,0 +1,93 @@
+"""Bitset TID-list algebra.
+
+A supporting-TID set is a set of small dense integers, and the mining
+runtime manipulates thousands of them per level: intersecting parent
+lists before a scan, unioning shard-local results, and asking "how many
+are left" for the early-abort bound.  Representing them as plain Python
+ints (bit *i* set ⟺ tid *i* in the set) turns every one of those
+operations into a single CPython long-integer op:
+
+* union is ``|``, intersection is ``&``, difference is ``& ~``;
+* cardinality is :meth:`int.bit_count` (a popcount, no iteration);
+* the empty set is ``0`` and is falsy, like the sets it replaces.
+
+Bitsets are value objects — hashable, picklable as ordinary ints, and
+trivially shippable over the runtime's worker pipes.  The helpers here
+are the only places that convert between bitsets and explicit tid
+collections, so the rest of the code can stay representation-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def bits_of(tids: Iterable[int]) -> int:
+    """The bitset holding exactly the tids in *tids*."""
+    bits = 0
+    for tid in tids:
+        bits |= 1 << tid
+    return bits
+
+
+def tids_of(bits: int) -> list[int]:
+    """The tids of *bits* in ascending order.
+
+    Peels the lowest set bit per step, so the cost is proportional to the
+    population count, not to the highest tid.
+    """
+    out: list[int] = []
+    while bits:
+        low = bits & -bits
+        out.append(low.bit_length() - 1)
+        bits ^= low
+    return out
+
+
+def popcount(bits: int) -> int:
+    """Number of tids in *bits*."""
+    return bits.bit_count()
+
+
+def translate_bits(bits: int, mapping: "list[int] | dict[int, int]") -> int:
+    """Rewrite each tid of *bits* through *mapping* (index/key -> new tid).
+
+    Used at the miner/runtime boundary to move a set between a run's
+    local tid space and the runtime's global one.  When the two spaces
+    differ only by an offset, prefer :func:`shift_bits` — it is a single
+    shift instead of a per-bit loop.
+    """
+    out = 0
+    for tid in tids_of(bits):
+        out |= 1 << mapping[tid]
+    return out
+
+
+def shift_bits(bits: int, offset: int) -> int:
+    """Add *offset* to every tid of *bits* (*offset* may be negative)."""
+    if offset >= 0:
+        return bits << offset
+    return bits >> -offset
+
+
+def is_contiguous(tids: "list[int]") -> bool:
+    """Whether *tids* is exactly ``base, base+1, ..., base+len-1``.
+
+    Runtimes allocate one run's global tids consecutively, which makes
+    local<->global translation a plain shift; this is the check that
+    guards that fast path.
+    """
+    if not tids:
+        return True
+    base = tids[0]
+    return all(tid == base + index for index, tid in enumerate(tids))
+
+
+__all__ = [
+    "bits_of",
+    "tids_of",
+    "popcount",
+    "translate_bits",
+    "shift_bits",
+    "is_contiguous",
+]

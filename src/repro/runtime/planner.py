@@ -27,6 +27,7 @@ from typing import Sequence
 
 from repro.graphs.compact import CompactGraph, LabelTable
 from repro.graphs.labeled_graph import LabeledGraph
+from repro.runtime.bitsets import tids_of
 
 
 @dataclass
@@ -127,3 +128,101 @@ class BatchSupportPlanner:
                 raise ValueError("pattern compacted through a different label table")
             return pattern.to_wire()
         return CompactGraph.from_labeled(pattern, table).to_wire()
+
+    # ------------------------------------------------------------------
+    # Incremental (embedding-store) level planning
+    # ------------------------------------------------------------------
+    def plan_level(
+        self,
+        requests: Sequence,
+        table: LabelTable,
+        locate,
+        min_support: int | None = None,
+    ) -> list["ShardLevelBatch"]:
+        """Split :class:`~repro.runtime.base.LevelRequest` batches per shard.
+
+        Like :meth:`plan`, but requests carry global-tid *bitsets* and the
+        embedding-store derivation tokens (uid / parent uid / extension),
+        which ride along to every shard that owns any of the request's
+        candidate transactions.  The early-abort threshold is translated
+        into each shard's frame of reference: a shard holding ``m`` of a
+        request's ``n`` candidate tids may abort once even sweeping its
+        remaining slice cannot push the *global* count to *min_support* —
+        i.e. its local bound is ``min_support - (n - m)``.  That bound is
+        sound whatever the other shards find, so aborts can never make
+        runtimes disagree on which candidates survive.
+        """
+        batches = [ShardLevelBatch(shard=shard) for shard in range(self.n_shards)]
+        for position, request in enumerate(requests):
+            tids = tids_of(request.tid_bits)
+            by_shard: dict[int, list[int]] = {}
+            for tid in tids:
+                shard, local = locate(tid)
+                by_shard.setdefault(shard, []).append(local)
+            if not by_shard:
+                continue
+            wire = self._wire_of(request.pattern, table)
+            total = len(tids)
+            for shard, locals_ in sorted(by_shard.items()):
+                batch = batches[shard]
+                batch.positions.append(position)
+                batch.wires.append(wire)
+                batch.tid_lists.append(sorted(locals_))
+                batch.keys.append(request.key)
+                batch.uids.append(request.uid)
+                batch.parent_uids.append(request.parent_uid)
+                batch.extensions.append(request.extension)
+                if min_support is None:
+                    batch.abort_bounds.append(None)
+                else:
+                    bound = min_support - (total - len(locals_))
+                    batch.abort_bounds.append(bound if bound > 0 else None)
+        return batches
+
+    @staticmethod
+    def merge_level(
+        n_requests: int,
+        batches: Sequence["ShardLevelBatch"],
+        shard_results: Sequence[Sequence[Sequence[int]] | None],
+        to_global,
+    ) -> list[int]:
+        """OR shard-local supports back into per-request global bitsets.
+
+        Shards own disjoint transactions, so each request's global support
+        is just the bitwise union of its shards' translated results —
+        order-independent by construction.
+        """
+        merged = [0] * n_requests
+        for batch, result in zip(batches, shard_results):
+            if result is None:
+                continue
+            for position, locals_ in zip(batch.positions, result):
+                bits = 0
+                for local in locals_:
+                    bits |= 1 << to_global(batch.shard, local)
+                merged[position] |= bits
+        return merged
+
+
+@dataclass
+class ShardLevelBatch:
+    """The slice of an incremental level batch destined for one shard.
+
+    Parallel lists, all aligned with ``positions`` (indices into the
+    level's request list); ``tid_lists`` are in the shard's local tid
+    space and ``abort_bounds`` are the shard-local early-abort
+    thresholds (``None`` disables abort for that request).
+    """
+
+    shard: int
+    positions: list[int] = field(default_factory=list)
+    wires: list[tuple] = field(default_factory=list)
+    tid_lists: list[list[int]] = field(default_factory=list)
+    keys: list[object] = field(default_factory=list)
+    uids: list[object] = field(default_factory=list)
+    parent_uids: list[object] = field(default_factory=list)
+    extensions: list[tuple | None] = field(default_factory=list)
+    abort_bounds: list[int | None] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not self.positions

@@ -24,9 +24,9 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.graphs.compact import CompactGraph, LabelTable
-from repro.graphs.engine import MatchEngine
+from repro.graphs.engine import EmbeddingTask, MatchEngine
 from repro.graphs.labeled_graph import LabeledGraph
-from repro.runtime.base import MiningRuntime, merge_stats, resolve_backend
+from repro.runtime.base import LevelRequest, MiningRuntime, merge_stats, resolve_backend
 from repro.runtime.planner import BatchSupportPlanner
 from repro.runtime.pool import make_pool
 
@@ -46,6 +46,14 @@ class ShardWorker:
         Batched support for the patterns against local tids (``keys``
         carries precomputed verdict-cache keys); reply with a sorted
         local tid list per pattern.
+    ``("level", wires, tid_lists, keys, uids, parent_uids, extensions, bounds)``
+        Incremental (embedding-store) support for one mining level:
+        parallel lists per pattern, ``bounds`` being shard-local
+        early-abort thresholds.  Anchors stay in this shard's engine —
+        only the small uid/extension tokens ever cross the pipe.  Reply
+        with a sorted local tid list per pattern.
+    ``("drop_anchors", uids)``
+        Retire the embedding-store entries of *uids*; ack with ``None``.
     ``("stats",)``
         Reply with the shard engine's counter snapshot.
     """
@@ -69,6 +77,26 @@ class ShardWorker:
             patterns = [CompactGraph.from_wire(wire, self.table) for wire in message[1]]
             supports = self.engine.batch_support(patterns, message[2], message[3])
             return [sorted(tids) for tids in supports]
+        if op == "level":
+            _, wires, tid_lists, keys, uids, parent_uids, extensions, bounds = message
+            tasks = [
+                EmbeddingTask(
+                    pattern=CompactGraph.from_wire(wire, self.table),
+                    tids=tids,
+                    key=key,
+                    uid=uid,
+                    parent_uid=parent_uid,
+                    extension=extension,
+                    abort_below=bound,
+                )
+                for wire, tids, key, uid, parent_uid, extension, bound in zip(
+                    wires, tid_lists, keys, uids, parent_uids, extensions, bounds
+                )
+            ]
+            return self.engine.support_with_embeddings(tasks)
+        if op == "drop_anchors":
+            self.engine.drop_anchors(message[1])
+            return None
         if op == "stats":
             return self.engine.stats_snapshot()
         raise ValueError(f"unknown shard message {op!r}")
@@ -217,6 +245,46 @@ class ShardedEngine(MiningRuntime):
                 self._pool.recv(shard)
             results[shard] = self._pool.recv(shard)
         return self.planner.merge(len(patterns), batches, results, self.to_global)
+
+    def batch_support_level(
+        self,
+        requests: Sequence[LevelRequest],
+        min_support: int | None = None,
+    ) -> list[int]:
+        batches = self.planner.plan_level(requests, self.table, self.locate, min_support)
+        pending: list[tuple[int, bool]] = []
+        for batch in batches:
+            if batch.is_empty():
+                continue
+            synced = self._send_sync(batch.shard)
+            self._pool.send(
+                batch.shard,
+                (
+                    "level",
+                    batch.wires,
+                    batch.tid_lists,
+                    batch.keys,
+                    batch.uids,
+                    batch.parent_uids,
+                    batch.extensions,
+                    batch.abort_bounds,
+                ),
+            )
+            pending.append((batch.shard, synced))
+        results: list[Sequence[Sequence[int]] | None] = [None] * self.n_shards
+        for shard, synced in pending:
+            if synced:
+                self._pool.recv(shard)
+            results[shard] = self._pool.recv(shard)
+        return self.planner.merge_level(len(requests), batches, results, self.to_global)
+
+    def drop_anchors(self, uids) -> None:
+        # Anchors are shard-local, so every shard is told to retire the
+        # level; a shard that never stored a uid treats it as a no-op.
+        uid_list = list(uids)
+        if not uid_list:
+            return
+        self._pool.broadcast(("drop_anchors", uid_list))
 
     def stats(self) -> dict[str, int]:
         snapshots = self._pool.broadcast(("stats",))

@@ -44,12 +44,27 @@ class TestExtension:
         # Forward from each of 2 vertices in 2 directions (4) plus one
         # backward edge closing the pair (p1 -> p0).
         assert len(extensions) == 5
-        assert all(ext.n_edges == 2 for ext in extensions)
+        assert all(ext.n_edges == 2 for ext, _ in extensions)
+
+    def test_extension_descriptors_match_added_edge(self):
+        base = single_edge_pattern("place", 0, "place")
+        for extended, (src_pos, dst_pos, has_new) in extend_pattern(
+            base, [("place", 0, "place")]
+        ):
+            order = list(extended.vertices())
+            if has_new:
+                # The brand-new vertex is appended last, and it is one of
+                # the extension edge's endpoints.
+                assert extended.n_vertices == base.n_vertices + 1
+                assert base.n_vertices in (src_pos, dst_pos)
+            else:
+                assert extended.n_vertices == base.n_vertices
+            assert extended.has_edge(order[src_pos], order[dst_pos])
 
     def test_extensions_preserve_labels(self):
         base = single_edge_pattern("place", 1, "place")
         extensions = extend_pattern(base, [("place", 2, "place")])
-        for extension in extensions:
+        for extension, _ in extensions:
             labels = sorted(edge.label for edge in extension.edges())
             assert labels == [1, 2]
 
@@ -62,7 +77,7 @@ class TestExtension:
         base = chain(2, edge_labels=[1, 1])
         extensions = extend_pattern(base, [("place", 1, "place")])
         has_cycle_closure = any(
-            ext.has_edge("ch_2", "ch_0") for ext in extensions
+            ext.has_edge("ch_2", "ch_0") for ext, _ in extensions
         )
         assert has_cycle_closure
 

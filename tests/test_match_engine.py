@@ -189,6 +189,39 @@ class TestDifferentialSupport:
             if legacy_has_embedding(pattern, transaction)
         )
 
+    def test_release_evicts_cached_verdicts(self):
+        # Regression: released tids can never hit the verdict cache again
+        # (querying them raises first), so leaving their entries in the
+        # LRU only crowded out live verdicts.  Release must evict them.
+        rng = random.Random(7)
+        engine = MatchEngine()
+        transactions = [_random_graph(rng, 6, 8, prefix=f"a{i}_") for i in range(4)]
+        tids = engine.add_transactions(transactions)
+        pattern = _random_pattern(rng, transactions[0], 1)
+        engine.support(pattern)
+        assert any(key[1] in set(tids) for key in engine._verdicts)
+        keep = [_random_graph(rng, 6, 8, prefix=f"b{i}_") for i in range(2)]
+        kept_tids = engine.add_transactions(keep)
+        engine.support(pattern, kept_tids)
+        engine.release_transactions(tids)
+        assert not any(key[1] in set(tids) for key in engine._verdicts)
+        assert any(key[1] in set(kept_tids) for key in engine._verdicts)
+
+    def test_support_early_abort_stops_short_of_threshold(self):
+        rng = random.Random(13)
+        engine = MatchEngine()
+        transactions = [_random_graph(rng, 6, 8, prefix=f"t{i}_") for i in range(10)]
+        tids = engine.add_transactions(transactions)
+        pattern = LabeledGraph()
+        pattern.add_vertex("p0", "absent-label")
+        pattern.add_vertex("p1", "absent-label")
+        pattern.add_edge("p0", "p1", "absent-edge")
+        partial = engine.support(pattern, tids, min_support=len(tids) + 5)
+        assert len(partial) < len(tids) + 5
+        assert engine.stats.support_aborts >= 1
+        # A reachable threshold leaves the result exact.
+        assert engine.support(pattern, tids, min_support=1) == frozenset()
+
     def test_mutated_graph_is_reindexed(self):
         engine = MatchEngine()
         target = LabeledGraph()

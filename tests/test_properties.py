@@ -17,6 +17,7 @@ from repro.graphs.isomorphism import (
     legacy_has_embedding,
 )
 from repro.graphs.labeled_graph import LabeledGraph, LabeledMultiGraph
+from repro.mining.fsg.miner import FSGMiner
 from repro.mining.interestingness import confidence, leverage, lift
 from repro.partitioning.split_graph import PartitionStrategy, coverage_is_exact, split_graph
 
@@ -199,6 +200,56 @@ class TestEngineLegacyAgreement:
         engine = MatchEngine()
         assert engine.has_embedding(simple, simple)
         assert legacy_has_embedding(simple, simple)
+
+
+# ----------------------------------------------------------------------
+# Embedding-store differential properties
+# ----------------------------------------------------------------------
+class TestEmbeddingStoreProperties:
+    @given(
+        st.lists(labeled_multigraphs(max_vertices=5, max_lanes=7), min_size=3, max_size=5),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_extension_support_equals_full_search_and_legacy(self, multigraphs, cap):
+        """Anchor extension, full search, and the legacy matcher agree.
+
+        Mining a random (simplified-multigraph) corpus through the
+        embedding store — including deliberately tiny anchor caps that
+        force the overflow/fallback path — must yield exactly the
+        patterns and supporting-TID sets of the store-less full-search
+        miner, and every support set must match a from-scratch
+        ``legacy_has_embedding`` scan.
+        """
+        corpus = [multigraph.simplify() for multigraph in multigraphs]
+        if all(graph.n_edges == 0 for graph in corpus):
+            return
+        engine = MatchEngine(anchor_cap=cap)
+        with_store = FSGMiner(
+            min_support=2, max_edges=3, engine=engine, use_embedding_store=True
+        ).mine(corpus)
+        without_store = FSGMiner(
+            min_support=2, max_edges=3, use_embedding_store=False
+        ).mine(corpus)
+
+        def signature(result):
+            return sorted(
+                (
+                    entry.pattern.n_vertices,
+                    entry.pattern.n_edges,
+                    tuple(sorted(entry.supporting_transactions)),
+                )
+                for entry in result.patterns
+            )
+
+        assert signature(with_store) == signature(without_store)
+        for entry in with_store.patterns:
+            legacy = frozenset(
+                tid
+                for tid, transaction in enumerate(corpus)
+                if legacy_has_embedding(entry.pattern, transaction)
+            )
+            assert frozenset(entry.supporting_transactions) == legacy
 
 
 # ----------------------------------------------------------------------
