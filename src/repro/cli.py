@@ -247,9 +247,21 @@ def _scenarios_verify(args, stream) -> int:
             file=stream,
         )
     if args.report is not None:
+        # The report rides on the golden entries but adds each sharded
+        # run's aggregated runtime counters (wire bytes shipped, full- vs
+        # delta-shipped patterns, store evictions, cache hit rates...);
+        # those are observational and deliberately never written to the
+        # golden file itself.
+        report_entries = {
+            report.scenario: {
+                **result.entries[report.scenario],
+                "runtime_stats": report.runtime_stats,
+            }
+            for report in result.reports
+        }
         args.report.parent.mkdir(parents=True, exist_ok=True)
         args.report.write_text(
-            json.dumps(result.entries, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            json.dumps(report_entries, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
         print(f"wrote {args.report}", file=stream)
     for failure in result.failures:

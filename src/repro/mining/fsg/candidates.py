@@ -85,6 +85,7 @@ class Candidate:
     parent_bits: int | None = None
     parent_uid: object = None
     extension: Extension | None = None
+    extension_labels: tuple[Hashable, Hashable | None] | None = None
     uid: object = None
 
     def fingerprint(self) -> str:
@@ -196,6 +197,26 @@ def extend_pattern(
     return extensions
 
 
+def extension_labels(
+    pattern: LabeledGraph, extension: Extension
+) -> tuple[Hashable, Hashable | None]:
+    """The ``(edge label, new-vertex label or None)`` of an extension.
+
+    Positions index the pattern's vertex insertion order (the same
+    convention as :data:`Extension`).  Together with the parent pattern,
+    these labels are all a mining-session shard needs to rebuild the
+    candidate from its resident parent — the payload of the runtime's
+    delta protocol.
+    """
+    source_position, target_position, has_new = extension
+    vertices = list(pattern.vertices())
+    edge_label = pattern.edge_label(
+        vertices[source_position], vertices[target_position]
+    )
+    new_label = pattern.vertex_label(vertices[-1]) if has_new else None
+    return (edge_label, new_label)
+
+
 def deduplicate(
     candidates: Iterable[Candidate],
     engine: MatchEngine | None = None,
@@ -270,6 +291,7 @@ def generate_candidates(
                     parent_bits=parent.parent_bits,
                     parent_uid=parent.uid,
                     extension=extension,
+                    extension_labels=extension_labels(extended, extension),
                 )
             )
     return deduplicate(raw, engine=engine)

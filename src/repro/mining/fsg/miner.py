@@ -33,7 +33,7 @@ from repro.mining.fsg.candidates import (
 )
 from repro.mining.fsg.exceptions import MemoryBudgetExceeded
 from repro.mining.fsg.results import FSGResult, FrequentSubgraph
-from repro.runtime.base import LevelRequest, MiningRuntime, SerialRuntime
+from repro.runtime.base import LevelRequest, MiningRuntime, MiningSession, SerialRuntime
 from repro.runtime.bitsets import (
     bits_of,
     is_contiguous,
@@ -159,6 +159,12 @@ class FSGMiner:
             else None
         )
         live_uids: list[object] = []
+        # One mining session spans every level of this run: the runtime
+        # may keep shard-resident candidate state alive between levels
+        # (delta-shipped patterns, deferred evictions) — see
+        # :meth:`MiningRuntime.open_session`.  The sessionless full-search
+        # path never needs one.
+        session: MiningSession | None = runtime.open_session() if use_store else None
 
         level_started = time.perf_counter()
         triples_with_tids = frequent_single_edges(transactions, support_threshold)
@@ -183,12 +189,14 @@ class FSGMiner:
                 # edge's anchors across its (already exact) support, so
                 # level-2 candidates extend instead of searching.
                 live_uids = [candidate.uid for candidate, _ in level_patterns]
-                runtime.batch_support_level(
+                session.support_level(
                     self._level_requests(
                         [candidate for candidate, _ in level_patterns], engine, to_global
                     )
                 )
             result.level_seconds[1] = time.perf_counter() - level_started
+            if session is not None:
+                result.level_telemetry[1] = session.take_telemetry()
 
             level = 1
             while level_patterns:
@@ -220,18 +228,19 @@ class FSGMiner:
                     for candidate in candidates:
                         candidate.uid = next(uids)
                     level_patterns = self._prune_level_incremental(
-                        candidates, support_threshold, engine, runtime, to_global, to_local
+                        candidates, support_threshold, engine, session, to_global, to_local
                     )
-                    # The parent level's anchors have served their one
-                    # consumer level, and failed candidates' anchors will
-                    # never have one — retire both, keep the survivors'.
+                    # The parent level's anchors (and session-store
+                    # patterns) have served their one consumer level, and
+                    # failed candidates' will never have one — retire
+                    # both, keep the survivors'.
                     surviving_uids = {candidate.uid for candidate, _ in level_patterns}
                     retired = live_uids + [
                         candidate.uid
                         for candidate in candidates
                         if candidate.uid not in surviving_uids
                     ]
-                    runtime.drop_anchors(retired)
+                    session.evict(retired)
                     live_uids = sorted(surviving_uids)
                 else:
                     level_patterns = self._prune_level(
@@ -239,12 +248,16 @@ class FSGMiner:
                     )
                 level += 1
                 result.level_seconds[level] = time.perf_counter() - level_started
+                if session is not None:
+                    result.level_telemetry[level] = session.take_telemetry()
                 if level_patterns:
                     self._record_level(result, level_patterns, level=level)
                     result.levels_completed = level
         finally:
-            if live_uids:
-                runtime.drop_anchors(live_uids)
+            if session is not None:
+                if live_uids:
+                    session.evict(live_uids)
+                session.close()
         return result
 
     def _prune_level(
@@ -318,6 +331,7 @@ class FSGMiner:
                     uid=candidate.uid,
                     parent_uid=candidate.parent_uid,
                     extension=candidate.extension,
+                    extension_labels=candidate.extension_labels,
                 )
             )
         return requests
@@ -327,28 +341,29 @@ class FSGMiner:
         candidates: Sequence[Candidate],
         support_threshold: int,
         engine: MatchEngine,
-        runtime: MiningRuntime,
+        session: MiningSession,
         to_global: Callable[[int], int],
         to_local: Callable[[int], int],
     ) -> list[tuple[Candidate, frozenset[int]]]:
-        """Evaluate a level through the embedding store, all-bitset.
+        """Evaluate a level through the mining session, all-bitset.
 
         A candidate's support is bounded by the *intersection* of its
         merged parents' TID sets, so candidates whose intersection is
         already below threshold never even reach the runtime; the rest
         ship their derivation (parent uid + extension edge) so shards
-        extend stored parent embeddings, with ``min_support`` arming the
-        per-pattern early abort.  Aborted candidates return partial
-        bitsets of population below threshold and are dropped here, so
-        survivors — the only thing the next level and the result see —
-        are exact whatever the runtime did.
+        extend stored parent embeddings — and, under a stateful session,
+        rebuild the candidate pattern itself from the resident parent —
+        with ``min_support`` arming the per-pattern early abort.  Aborted
+        candidates return partial bitsets of population below threshold
+        and are dropped here, so survivors — the only thing the next
+        level and the result see — are exact whatever the runtime did.
         """
         viable = [
             candidate
             for candidate in candidates
             if popcount(candidate.parent_bits) >= support_threshold
         ]
-        supports = runtime.batch_support_level(
+        supports = session.support_level(
             self._level_requests(viable, engine, to_global),
             min_support=support_threshold,
         )

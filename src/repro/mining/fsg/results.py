@@ -59,12 +59,28 @@ class FSGResult:
     #: support counting for that level); keyed by the level's edge count.
     #: Purely observational — never part of any digest or comparison.
     level_seconds: dict[int, float] = field(default_factory=dict, compare=False)
+    #: Mining-session counters per level (wire bytes shipped, planning
+    #: seconds, full-vs-delta pattern shipments, store hits, evictions —
+    #: see :data:`repro.runtime.base.SESSION_TELEMETRY_KEYS`), keyed like
+    #: :attr:`level_seconds`.  Populated only on the embedding-store
+    #: path; purely observational, never part of any digest.
+    level_telemetry: dict[int, dict[str, float]] = field(
+        default_factory=dict, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.patterns)
 
     def __iter__(self):
         return iter(self.patterns)
+
+    def session_totals(self) -> dict[str, float]:
+        """Session telemetry summed across levels (empty dict when none)."""
+        totals: dict[str, float] = {}
+        for counters in self.level_telemetry.values():
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def by_size(self) -> dict[int, list[FrequentSubgraph]]:
         """Group the frequent patterns by edge count."""

@@ -27,30 +27,44 @@ from __future__ import annotations
 from repro.graphs.engine import MatchEngine
 from repro.runtime.base import (
     BACKENDS,
+    SESSION_TELEMETRY_KEYS,
+    DelegatingSession,
     LevelRequest,
     MiningRuntime,
+    MiningSession,
     SerialRuntime,
     merge_stats,
     resolve_backend,
     resolve_workers,
 )
 from repro.runtime.bitsets import bits_of, popcount, tids_of
-from repro.runtime.planner import BatchSupportPlanner, ShardBatch, ShardLevelBatch
+from repro.runtime.planner import (
+    BatchSupportPlanner,
+    ShardBatch,
+    ShardLevelBatch,
+    ShardSessionBatch,
+    wire_cost,
+)
 from repro.runtime.pool import ProcessBackend, SerialBackend, WorkerError, WorkerPool, make_pool
-from repro.runtime.shards import ShardedEngine, ShardWorker
+from repro.runtime.shards import ShardedEngine, ShardedSession, ShardWorker
 
 __all__ = [
     "BACKENDS",
+    "SESSION_TELEMETRY_KEYS",
     "BatchSupportPlanner",
+    "DelegatingSession",
     "LevelRequest",
     "MiningRuntime",
+    "MiningSession",
     "ProcessBackend",
     "SerialBackend",
     "SerialRuntime",
     "ShardBatch",
     "ShardLevelBatch",
+    "ShardSessionBatch",
     "ShardWorker",
     "ShardedEngine",
+    "ShardedSession",
     "WorkerError",
     "WorkerPool",
     "bits_of",
@@ -61,6 +75,7 @@ __all__ = [
     "resolve_backend",
     "resolve_workers",
     "tids_of",
+    "wire_cost",
 ]
 
 

@@ -84,6 +84,13 @@ class LevelRequest:
     embedding store (see :class:`~repro.graphs.engine.EmbeddingTask`);
     anchors are engine-local (shard-local under a sharded runtime), so a
     request ships only these small tokens, never embeddings.
+
+    ``extension_labels`` carries the one extension edge's labels — ``(edge
+    label, new-vertex label or None)`` — which is everything a shard that
+    already holds the parent pattern needs to rebuild this candidate
+    without receiving its full wire form (the mining-session delta
+    protocol).  Requests without derivation info leave it ``None`` and
+    always ship in full.
     """
 
     pattern: LabeledGraph
@@ -92,6 +99,143 @@ class LevelRequest:
     uid: object = None
     parent_uid: object = None
     extension: tuple[int, int, bool] | None = None
+    extension_labels: tuple | None = None
+
+
+#: Counter keys every :class:`MiningSession` reports per level (see
+#: :meth:`MiningSession.take_telemetry`).  ``wire_bytes`` and
+#: ``planning_seconds`` are parent-side costs of shipping the level;
+#: ``patterns_full`` / ``patterns_delta`` split shipped candidates by
+#: protocol (a candidate sent to two shards counts twice);
+#: ``store_hits`` counts resident-parent reconstructions as *observed by
+#: the shards* and reported on level replies — it equals
+#: ``patterns_delta`` whenever the parent's residency model and the
+#: shard stores agree, so the pair is a protocol-consistency
+#: cross-check; and ``evictions`` counts per-shard pattern-store entries
+#: retired (miner-driven and shard-capacity evictions on one ruler; a
+#: stateless session, having no store, reports zero).
+SESSION_TELEMETRY_KEYS = (
+    "wire_bytes",
+    "planning_seconds",
+    "patterns_full",
+    "patterns_delta",
+    "store_hits",
+    "evictions",
+)
+
+
+def zero_telemetry() -> dict[str, float]:
+    """A fresh all-zero session telemetry record."""
+    return {key: 0 for key in SESSION_TELEMETRY_KEYS}
+
+
+class MiningSession(ABC):
+    """A stateful, multi-level mining conversation with one runtime.
+
+    A level-wise miner opens one session per mining run and drives every
+    level through it.  The session is what lets a runtime keep per-level
+    state alive between calls — resident shard-side pattern stores, delta
+    shipping of derived candidates, deferred evictions — none of which
+    the stateless :meth:`MiningRuntime.batch_support_level` can amortise.
+    Sessions never change mining output: :meth:`support_level` must
+    return exactly what the runtime's stateless method would.
+    """
+
+    def __init__(self) -> None:
+        self._telemetry = zero_telemetry()
+
+    @abstractmethod
+    def support_level(
+        self,
+        requests: Sequence[LevelRequest],
+        min_support: int | None = None,
+    ) -> list[int]:
+        """Per-request supporting-tid bitsets for one mining level.
+
+        Semantics are identical to
+        :meth:`MiningRuntime.batch_support_level`; a session is free to
+        answer through resident state instead of shipping each request
+        whole.
+        """
+
+    @abstractmethod
+    def evict(self, uids: Iterable[object]) -> None:
+        """Retire *uids*: stored anchors and any resident pattern state.
+
+        Implementations may defer the actual cleanup (e.g. piggyback it
+        on the next level shipment) — retired uids are never referenced
+        again, so laziness costs memory, never correctness.
+        """
+
+    def take_telemetry(self) -> dict[str, float]:
+        """Counters accumulated since the last call, then reset.
+
+        Always contains exactly :data:`SESSION_TELEMETRY_KEYS`; a session
+        with nothing to report returns zeros.
+        """
+        taken = self._telemetry
+        self._telemetry = zero_telemetry()
+        return taken
+
+    def close(self) -> None:
+        """Flush deferred cleanup and end the session; idempotent."""
+
+    def __enter__(self) -> "MiningSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class DelegatingSession(MiningSession):
+    """A stateless session: every call delegates to the runtime directly.
+
+    This is the default session of every runtime, and the only session
+    :class:`SerialRuntime` ever hands out — the delegation preserves the
+    exact engine-call sequence of the sessionless path, so serial mining
+    stays byte-identical whether or not a session is in the loop.
+    ``wire_bytes`` telemetry is read from the runtime's
+    ``wire_bytes_shipped`` counter when it keeps one (sharded runtimes
+    do), which is what lets a full-wire sharded baseline be measured
+    through the same telemetry as the delta protocol.
+    """
+
+    def __init__(self, runtime: "MiningRuntime") -> None:
+        super().__init__()
+        self._runtime = runtime
+
+    def _wire_counter(self) -> int:
+        return getattr(self._runtime, "wire_bytes_shipped", 0)
+
+    def _posted_counter(self) -> int | None:
+        return getattr(self._runtime, "level_patterns_posted", None)
+
+    def support_level(
+        self,
+        requests: Sequence[LevelRequest],
+        min_support: int | None = None,
+    ) -> list[int]:
+        wire_before = self._wire_counter()
+        posted_before = self._posted_counter()
+        supports = self._runtime.batch_support_level(requests, min_support)
+        self._telemetry["wire_bytes"] += self._wire_counter() - wire_before
+        if posted_before is not None:
+            # Sharded runtimes count the full wires they actually posted
+            # — one per (request, shard) pair, the same ruler the
+            # stateful session and the shard-side stats counters use.
+            self._telemetry["patterns_full"] += self._posted_counter() - posted_before
+        else:
+            # One engine, one "shard": per-(request, shard) degenerates
+            # to one shipment per request.
+            self._telemetry["patterns_full"] += len(requests)
+        return supports
+
+    def evict(self, uids: Iterable[object]) -> None:
+        # No pattern store behind a stateless session, so no store
+        # evictions to report — only the wire the retirement costs.
+        before = self._wire_counter()
+        self._runtime.drop_anchors(list(uids))
+        self._telemetry["wire_bytes"] += self._wire_counter() - before
 
 
 class MiningRuntime(ABC):
@@ -156,6 +300,16 @@ class MiningRuntime(ABC):
 
     def drop_anchors(self, uids: Iterable[object]) -> None:
         """Forget stored embeddings for *uids* on every shard (no-op default)."""
+
+    def open_session(self) -> MiningSession:
+        """Open a mining session for one level-wise run.
+
+        The default is a :class:`DelegatingSession` (stateless, exact
+        same calls as driving the runtime directly); runtimes with
+        per-level state worth keeping alive override this.  The caller
+        owns the session and must :meth:`MiningSession.close` it.
+        """
+        return DelegatingSession(self)
 
     @abstractmethod
     def stats(self) -> dict[str, int]:
@@ -233,4 +387,11 @@ class SerialRuntime(MiningRuntime):
     def stats(self) -> dict[str, int]:
         snapshot = self.engine.stats_snapshot()
         snapshot["shards"] = 1
+        # Nothing ever crosses a wire here; report the session-protocol
+        # counters as explicit zeros so stat consumers see stable keys
+        # whichever runtime produced the run.
+        snapshot["wire_bytes_shipped"] = 0
+        snapshot["patterns_shipped_full"] = 0
+        snapshot["patterns_shipped_delta"] = 0
+        snapshot["session_store_evictions"] = 0
         return snapshot

@@ -23,11 +23,39 @@ support set is the disjoint union of the shard-local results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.graphs.compact import CompactGraph, LabelTable
 from repro.graphs.labeled_graph import LabeledGraph
-from repro.runtime.bitsets import tids_of
+from repro.runtime.bitsets import bits_of, tids_of
+
+
+def wire_cost(value) -> int:
+    """Approximate serialized size of a wire payload, in bytes.
+
+    A deterministic, backend-independent estimate modelled on pickle's
+    framing (small ints ~5 bytes, big ints ~their byte length, strings
+    ~their length, containers ~their members): the absolute numbers are
+    approximate, but both session protocols are measured with the same
+    ruler, so byte *ratios* — the thing the benchmarks compare — are
+    honest.  Measuring this way keeps accounting identical across the
+    serial and process pool backends (the serial backend never pickles).
+    """
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        if -(1 << 31) <= value < (1 << 31):
+            return 5
+        return (value.bit_length() + 7) // 8 + 6
+    if isinstance(value, float):
+        return 9
+    if isinstance(value, (str, bytes)):
+        return len(value) + 6
+    if isinstance(value, (tuple, list, frozenset, set)):
+        return 2 + sum(wire_cost(member) for member in value)
+    if isinstance(value, dict):
+        return 2 + sum(wire_cost(key) + wire_cost(item) for key, item in value.items())
+    return 8  # opaque objects (uids etc.): a flat-rate guess
 
 
 @dataclass
@@ -202,6 +230,135 @@ class BatchSupportPlanner:
                     bits |= 1 << to_global(batch.shard, local)
                 merged[position] |= bits
         return merged
+
+
+    # ------------------------------------------------------------------
+    # Stateful (mining-session) level planning
+    # ------------------------------------------------------------------
+    def plan_session_level(
+        self,
+        requests: Sequence,
+        table: LabelTable,
+        locate,
+        min_support: int | None = None,
+        resident: Sequence[set] | None = None,
+        hit_positions: Callable[[int, object], "dict[int, int] | None"] | None = None,
+    ) -> list["ShardSessionBatch"]:
+        """Split a level across shards that keep resident pattern stores.
+
+        Like :meth:`plan_level`, but each ``(request, shard)`` pair ships
+        the cheapest payload the shard's state allows:
+
+        * **delta** ``("d", edge_label_id, new_label_id, mask)`` when the
+          request's parent is resident on the shard (``resident[shard]``)
+          and its local hit positions are known — the shard rebuilds the
+          candidate from the stored parent, and ``mask`` encodes the
+          candidate's local scan set as a bitset over the *parent's*
+          shard-local hit list (a few bits instead of a tid list, sound
+          because a candidate's scan set is contained in every parent's
+          support);
+        * **full wire** ``("w", wire, tid_bits)`` for roots, requests with
+          no derivation, and store misses — ``tid_bits`` being the local
+          scan set as a plain local-tid bitset.
+
+        Session payloads deliberately carry no verdict-cache keys: a
+        session's tids die with its run (released on mine exit, which
+        evicts their verdicts) and no ``(pattern, tid)`` pair repeats
+        within a run, so shard-side verdict caching has nothing to hit —
+        dropping the canonical-code strings from the wire is pure
+        savings.  Abort bounds are localized exactly as in
+        :meth:`plan_level`.
+        """
+        batches = [ShardSessionBatch(shard=shard) for shard in range(self.n_shards)]
+        for position, request in enumerate(requests):
+            tids = tids_of(request.tid_bits)
+            by_shard: dict[int, list[int]] = {}
+            for tid in tids:
+                shard, local = locate(tid)
+                by_shard.setdefault(shard, []).append(local)
+            if not by_shard:
+                continue
+            wire = None
+            total = len(tids)
+            deltable = (
+                resident is not None
+                and request.parent_uid is not None
+                and request.extension is not None
+                and request.extension_labels is not None
+            )
+            for shard, locals_ in sorted(by_shard.items()):
+                payload = None
+                if deltable and request.parent_uid in resident[shard]:
+                    positions = (
+                        hit_positions(shard, request.parent_uid)
+                        if hit_positions is not None
+                        else None
+                    )
+                    if positions is not None:
+                        mask = 0
+                        for local in locals_:
+                            offset = positions.get(local)
+                            if offset is None:
+                                # A scan tid outside the parent's hits can
+                                # only mean stale parent state — ship full.
+                                mask = None
+                                break
+                            mask |= 1 << offset
+                        if mask is not None:
+                            edge_label, new_label = request.extension_labels
+                            payload = (
+                                "d",
+                                table.intern(edge_label),
+                                None if new_label is None else table.intern(new_label),
+                                mask,
+                            )
+                if payload is None:
+                    if wire is None:
+                        wire = self._wire_of(request.pattern, table)
+                    payload = ("w", wire, bits_of(locals_))
+                batch = batches[shard]
+                batch.positions.append(position)
+                batch.payloads.append(payload)
+                batch.uids.append(request.uid)
+                batch.parent_uids.append(request.parent_uid)
+                batch.extensions.append(request.extension)
+                if min_support is None:
+                    batch.abort_bounds.append(None)
+                else:
+                    bound = min_support - (total - len(locals_))
+                    batch.abort_bounds.append(bound if bound > 0 else None)
+        return batches
+
+
+@dataclass
+class ShardSessionBatch:
+    """The slice of a stateful session level destined for one shard.
+
+    Parallel lists aligned with ``positions`` (indices into the level's
+    request list).  ``payloads[i]`` is the pattern+scan shipment for
+    request ``positions[i]`` — a full-wire ``("w", wire, tid_bits)`` or a
+    delta ``("d", edge_label_id, new_label_id, mask)`` tuple (see
+    :meth:`BatchSupportPlanner.plan_session_level`).  Replies align with
+    ``positions`` too, so :meth:`BatchSupportPlanner.merge_level` merges
+    session batches unchanged.
+    """
+
+    shard: int
+    positions: list[int] = field(default_factory=list)
+    payloads: list[tuple] = field(default_factory=list)
+    uids: list[object] = field(default_factory=list)
+    parent_uids: list[object] = field(default_factory=list)
+    extensions: list[tuple | None] = field(default_factory=list)
+    abort_bounds: list[int | None] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not self.positions
+
+    def count_full(self) -> int:
+        return sum(1 for payload in self.payloads if payload[0] == "w")
+
+    def count_delta(self) -> int:
+        return sum(1 for payload in self.payloads if payload[0] == "d")
 
 
 @dataclass

@@ -41,6 +41,21 @@ class WorkerError(RuntimeError):
     """A handler raised inside a worker; carries the remote traceback."""
 
 
+def _raise_if_error(worker: int, reply):
+    """Re-raise a tagged error reply as :class:`WorkerError`; pass others.
+
+    Shared by both backends so a handler failure surfaces identically —
+    at :meth:`WorkerPool.recv` time, wrapped with the handler-side
+    traceback — whether the handler ran inline or in a worker process.
+    The deferred raise is what keeps scatter/gather dispatch safe: every
+    queued send still gets its matching recv, so one failing shard can
+    never leave another shard's reply stranded in a pipe.
+    """
+    if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == _ERROR:
+        raise WorkerError(f"worker {worker} failed:\n{reply[1]}")
+    return reply
+
+
 class WorkerPool(ABC):
     """N workers, each running one handler under send/recv message passing."""
 
@@ -81,7 +96,13 @@ class WorkerPool(ABC):
 
 
 class SerialBackend(WorkerPool):
-    """In-process pool: handlers execute inline at :meth:`send` time."""
+    """In-process pool: handlers execute inline at :meth:`send` time.
+
+    Handler exceptions are captured as tagged error replies and re-raised
+    at :meth:`recv` as :class:`WorkerError` — the same failure contract
+    as the process backend, so callers (and tests) exercise one error
+    path whichever backend is under them.
+    """
 
     def __init__(self, n_workers: int, handler_factory: Callable[[], Callable[[tuple], Any]]) -> None:
         super().__init__(n_workers)
@@ -91,10 +112,19 @@ class SerialBackend(WorkerPool):
     def send(self, worker: int, message: tuple) -> None:
         if self._closed:
             raise RuntimeError("pool is closed")
-        self._replies[worker].append(self._handlers[worker](message))
+        try:
+            reply = self._handlers[worker](message)
+        except Exception:
+            # Exception, not BaseException: handlers run inline here, so
+            # a KeyboardInterrupt/SystemExit must stop the caller now,
+            # not resurface later as a shard failure.  (The process
+            # worker's loop does catch BaseException — there the worker
+            # is isolated and the parent must still get a reply.)
+            reply = (_ERROR, traceback.format_exc())
+        self._replies[worker].append(reply)
 
     def recv(self, worker: int) -> Any:
-        return self._replies[worker].popleft()
+        return _raise_if_error(worker, self._replies[worker].popleft())
 
 
 def _worker_main(connection, handler_factory) -> None:
@@ -157,10 +187,7 @@ class ProcessBackend(WorkerPool):
         self._connections[worker].send(message)
 
     def recv(self, worker: int) -> Any:
-        reply = self._connections[worker].recv()
-        if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == _ERROR:
-            raise WorkerError(f"worker {worker} failed:\n{reply[1]}")
-        return reply
+        return _raise_if_error(worker, self._connections[worker].recv())
 
     def close(self) -> None:
         if self._closed:

@@ -13,6 +13,21 @@ sync by shipping append-only deltas.  Workers therefore never re-intern a
 label and never rebuild string keys; with the process backend the pickles
 are tuples of small ints.
 
+Level-wise mining goes further through a **mining session**
+(:class:`ShardedSession`, opened with :meth:`ShardedEngine.open_session`):
+each shard keeps a resident pattern store keyed by candidate uid, so a
+level-(k+1) candidate — its parent plus one edge — ships as a small delta
+token and is reconstructed shard-side from the stored parent
+(:meth:`MatchEngine.extend_session_pattern`).  Full wire tuples are sent
+only for roots and store misses; shard-initiated (capacity) evictions are
+piggybacked on level replies so the parent's residency model stays exact.
+
+Dispatch is scatter/gather throughout: every per-level message is sent to
+every shard before any reply is received, so shard compute genuinely
+overlaps under the process backend, and replies are always fully drained
+before a worker error is re-raised — a failing shard can never leave the
+pipes desynchronised.
+
 The shard side is :class:`ShardWorker`, a picklable message handler that
 runs identically under both worker-pool backends (inline for ``serial``,
 in a daemon process for ``process``) — the backend choice can change
@@ -21,14 +36,34 @@ wall-clock, never output.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import functools
+import time
+from collections import OrderedDict
+from typing import Any, Iterable, Sequence
 
 from repro.graphs.compact import CompactGraph, LabelTable
 from repro.graphs.engine import EmbeddingTask, MatchEngine
 from repro.graphs.labeled_graph import LabeledGraph
-from repro.runtime.base import LevelRequest, MiningRuntime, merge_stats, resolve_backend
-from repro.runtime.planner import BatchSupportPlanner
+from repro.runtime.base import (
+    DelegatingSession,
+    LevelRequest,
+    MiningRuntime,
+    MiningSession,
+    merge_stats,
+    resolve_backend,
+)
+from repro.runtime.bitsets import tids_of
+from repro.runtime.planner import BatchSupportPlanner, wire_cost
 from repro.runtime.pool import make_pool
+
+#: Session protocols understood by :class:`ShardedEngine`.
+SESSION_PROTOCOLS = ("delta", "full")
+
+#: Default bound on resident patterns per shard store.  Mining keeps at
+#: most ~two levels' candidates alive (the miner evicts each level as
+#: soon as its consumer level is done), so this is a memory backstop for
+#: adversarial levels, not a tuning knob.
+DEFAULT_STORE_CAPACITY = 1 << 16
 
 
 class ShardWorker:
@@ -52,15 +87,127 @@ class ShardWorker:
         early-abort thresholds.  Anchors stay in this shard's engine —
         only the small uid/extension tokens ever cross the pipe.  Reply
         with a sorted local tid list per pattern.
+    ``("slevel", evictions, payloads, uids, parent_uids, extensions, bounds)``
+        One *session* level against the resident pattern store.
+        ``evictions`` (parent-retired uids, piggybacked here instead of
+        costing their own round trip) are applied first — pattern store
+        and anchors both.  Each ``payloads[i]`` is a full wire
+        ``("w", wire, tid_bits)`` or a delta
+        ``("d", edge_label_id, new_label_id, mask)`` reconstructed from
+        the stored parent; every pattern is filed in the store under its
+        uid, and its resulting hit list is remembered so next level's
+        delta masks can be decoded against it.  Reply with
+        ``(hit lists, capacity-evicted uids, store hits)`` — the store
+        hits being this shard's own count of resident-parent
+        reconstructions, the reply-side half of the parent's
+        ``patterns_delta`` cross-check.
+    ``("sevict", uids)``
+        Retire *uids* from the pattern store *and* the embedding store;
+        ack with ``None`` (the session's close-time flush).
     ``("drop_anchors", uids)``
         Retire the embedding-store entries of *uids*; ack with ``None``.
     ``("stats",)``
-        Reply with the shard engine's counter snapshot.
+        Reply with the shard engine's counter snapshot merged with this
+        worker's session-protocol counters.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store_capacity: int = DEFAULT_STORE_CAPACITY) -> None:
+        if store_capacity < 1:
+            raise ValueError(f"store_capacity must be at least 1, got {store_capacity}")
         self.table = LabelTable()
         self.engine = MatchEngine(self.table)
+        self.store_capacity = store_capacity
+        #: Per-uid shard-local hit lists (ascending), kept alongside the
+        #: engine's pattern store: delta masks index into the *parent's*
+        #: hit list, so it must survive until the parent is evicted.
+        self._session_hits: dict[object, list[int]] = {}
+        #: Store insertion order (oldest first) for capacity eviction.
+        self._session_order: "OrderedDict[object, None]" = OrderedDict()
+        self.counters = {
+            "patterns_shipped_full": 0,
+            "patterns_shipped_delta": 0,
+            "session_store_evictions": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Session store bookkeeping
+    # ------------------------------------------------------------------
+    def _store_drop(self, uids: Iterable[object]) -> None:
+        """Forget store entries (pattern, hits, order); anchors untouched."""
+        uid_list = list(uids)
+        self.engine.drop_session_patterns(uid_list)
+        for uid in uid_list:
+            self._session_hits.pop(uid, None)
+            self._session_order.pop(uid, None)
+
+    def _session_level(self, message: tuple):
+        _, evictions, payloads, uids, parent_uids, extensions, bounds = message
+        if evictions:
+            # Parent-retired uids: gone from the store *and* the anchor
+            # store, exactly as a drop_anchors broadcast would have done.
+            self._store_drop(evictions)
+            self.engine.drop_anchors(evictions)
+        tasks: list[EmbeddingTask] = []
+        counters = self.counters
+        store_hits = 0
+        for payload, uid, parent_uid, extension, bound in zip(
+            payloads, uids, parent_uids, extensions, bounds
+        ):
+            if payload[0] == "w":
+                _, wire, tid_bits = payload
+                compact = CompactGraph.from_wire(wire, self.table)
+                index = self.engine.register_session_pattern(uid, compact)
+                tids = tids_of(tid_bits)
+                counters["patterns_shipped_full"] += 1
+            elif payload[0] == "d":
+                _, edge_label_id, new_label_id, mask = payload
+                index = self.engine.extend_session_pattern(
+                    uid, parent_uid, extension, edge_label_id, new_label_id
+                )
+                parent_hits = self._session_hits.get(parent_uid)
+                if parent_hits is None:
+                    raise KeyError(
+                        f"no stored hit list for parent {parent_uid!r} "
+                        f"while decoding the scan mask of {uid!r}"
+                    )
+                tids = [parent_hits[offset] for offset in tids_of(mask)]
+                counters["patterns_shipped_delta"] += 1
+                store_hits += 1
+            else:
+                raise ValueError(f"unknown session payload tag {payload[0]!r}")
+            self._session_order[uid] = None
+            # No verdict-cache key on purpose: session tids die with the
+            # run and no (pattern, tid) pair repeats inside one, so the
+            # canonical-code strings would be dead weight on the wire.
+            tasks.append(
+                EmbeddingTask(
+                    pattern=index,
+                    tids=tids,
+                    key=False,
+                    uid=uid,
+                    parent_uid=parent_uid,
+                    extension=extension,
+                    abort_below=bound,
+                )
+            )
+        results = self.engine.support_with_embeddings(tasks)
+        for uid, hits in zip(uids, results):
+            self._session_hits[uid] = hits
+        # Capacity pressure: evict oldest entries, but never this level's
+        # (they are next level's delta parents).  Evicted uids keep their
+        # anchors — anchor lifecycle belongs to the miner — and are
+        # reported so the parent resends those patterns in full on a miss.
+        current = set(uids)
+        evicted: list[object] = []
+        while len(self._session_order) > self.store_capacity:
+            oldest = next(iter(self._session_order))
+            if oldest in current:
+                break
+            evicted.append(oldest)
+            self._store_drop([oldest])
+        if evicted:
+            counters["session_store_evictions"] += len(evicted)
+        return results, evicted, store_hits
 
     def __call__(self, message: tuple):
         op = message[0]
@@ -75,10 +222,12 @@ class ShardWorker:
             return None
         if op == "batch":
             patterns = [CompactGraph.from_wire(wire, self.table) for wire in message[1]]
+            self.counters["patterns_shipped_full"] += len(patterns)
             supports = self.engine.batch_support(patterns, message[2], message[3])
             return [sorted(tids) for tids in supports]
         if op == "level":
             _, wires, tid_lists, keys, uids, parent_uids, extensions, bounds = message
+            self.counters["patterns_shipped_full"] += len(wires)
             tasks = [
                 EmbeddingTask(
                     pattern=CompactGraph.from_wire(wire, self.table),
@@ -94,11 +243,17 @@ class ShardWorker:
                 )
             ]
             return self.engine.support_with_embeddings(tasks)
+        if op == "slevel":
+            return self._session_level(message)
+        if op == "sevict":
+            self._store_drop(message[1])
+            self.engine.drop_anchors(message[1])
+            return None
         if op == "drop_anchors":
             self.engine.drop_anchors(message[1])
             return None
         if op == "stats":
-            return self.engine.stats_snapshot()
+            return {**self.engine.stats_snapshot(), **self.counters}
         raise ValueError(f"unknown shard message {op!r}")
 
 
@@ -114,16 +269,46 @@ class ShardedEngine(MiningRuntime):
         ``"process"`` (default, real parallelism via ``multiprocessing``)
         or ``"serial"`` (same code path inline — determinism / debugging).
         ``None`` consults ``REPRO_BACKEND``.
+    session_protocol:
+        ``"delta"`` (default) gives :meth:`open_session` callers the
+        stateful :class:`ShardedSession` — resident shard stores, delta
+        shipping, piggybacked evictions.  ``"full"`` falls back to a
+        stateless :class:`~repro.runtime.base.DelegatingSession` over
+        :meth:`batch_support_level` (every level re-ships every pattern
+        in full — the pre-session wire protocol, kept as the benchmark
+        baseline and an A/B escape hatch).  Mining output is identical
+        either way.
+    session_store_capacity:
+        Bound on resident patterns per shard store; overflowing entries
+        are evicted oldest-first and resent in full on a later miss.
     """
 
-    def __init__(self, shards: int = 2, backend: str | None = None) -> None:
+    def __init__(
+        self,
+        shards: int = 2,
+        backend: str | None = None,
+        session_protocol: str = "delta",
+        session_store_capacity: int = DEFAULT_STORE_CAPACITY,
+    ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
+        if session_protocol not in SESSION_PROTOCOLS:
+            raise ValueError(
+                f"session_protocol must be one of {SESSION_PROTOCOLS}, "
+                f"got {session_protocol!r}"
+            )
         self.n_shards = shards
         self.backend = resolve_backend(backend)
+        self.session_protocol = session_protocol
         self.table = LabelTable()
         self.planner = BatchSupportPlanner(shards)
-        self._pool = make_pool(self.backend, shards, ShardWorker)
+        self._wire_bytes = 0
+        self._level_patterns_posted = 0
+        self._pool = make_pool(
+            self.backend,
+            shards,
+            functools.partial(ShardWorker, store_capacity=session_store_capacity),
+        )
         self._synced = [0] * shards
         self._local_to_global: list[list[int]] = [[] for _ in range(shards)]
         self._home: dict[int, tuple[int, int]] = {}
@@ -152,17 +337,72 @@ class ShardedEngine(MiningRuntime):
         """Number of global tid slots handed out (including released ones)."""
         return self._next_global
 
+    @property
+    def wire_bytes_shipped(self) -> int:
+        """Estimated bytes of every message posted to the shards so far.
+
+        Measured with :func:`~repro.runtime.planner.wire_cost` at post
+        time, so the counter is identical across pool backends.
+        """
+        return self._wire_bytes
+
+    @property
+    def level_patterns_posted(self) -> int:
+        """Full pattern wires posted by :meth:`batch_support_level`.
+
+        One count per ``(request, shard)`` pair — the ruler the session
+        telemetry's ``patterns_full`` uses, letting a stateless
+        :class:`DelegatingSession` over this runtime report shipments
+        comparably to the stateful session.
+        """
+        return self._level_patterns_posted
+
     # ------------------------------------------------------------------
-    # Label-table replication
+    # Dispatch: wire accounting + scatter/gather
     # ------------------------------------------------------------------
+    def _post(self, shard: int, message: tuple) -> None:
+        """Send *message* to *shard*, accounting its wire cost."""
+        self._wire_bytes += wire_cost(message)
+        self._pool.send(shard, message)
+
     def _send_sync(self, shard: int) -> bool:
         """Send the replica's missing label delta; True if a reply is due."""
         delta = self.table.snapshot(self._synced[shard])
         if not delta:
             return False
-        self._pool.send(shard, ("labels", delta))
+        self._post(shard, ("labels", delta))
         self._synced[shard] = len(self.table)
         return True
+
+    def _scatter(self, messages: Sequence[tuple[int, tuple]]) -> list[tuple[int, int]]:
+        """Post every (shard, message) — label sync included — sending all
+        before the caller receives anything; returns the recv plan."""
+        pending: list[tuple[int, int]] = []
+        for shard, message in messages:
+            synced = self._send_sync(shard)
+            self._post(shard, message)
+            pending.append((shard, 2 if synced else 1))
+        return pending
+
+    def _gather(self, pending: Sequence[tuple[int, int]]) -> dict[int, Any]:
+        """One reply per queued send; the last reply per shard wins.
+
+        Every queued reply is drained before any worker error is
+        re-raised, so a failing shard leaves the pipes aligned — the
+        runtime (and any open session) stays usable and closeable.
+        """
+        replies: dict[int, Any] = {}
+        first_error: BaseException | None = None
+        for shard, count in pending:
+            for _ in range(count):
+                try:
+                    replies[shard] = self._pool.recv(shard)
+                except BaseException as error:  # noqa: BLE001 - re-raised below
+                    if first_error is None:
+                        first_error = error
+        if first_error is not None:
+            raise first_error
+        return replies
 
     # ------------------------------------------------------------------
     # MiningRuntime API
@@ -180,17 +420,15 @@ class ShardedEngine(MiningRuntime):
             globals_[shard].append(tid)
             tids.append(tid)
         # Send everything first so process workers index concurrently.
-        pending: list[tuple[int, bool]] = []
-        for shard in range(self.n_shards):
-            if not wires[shard]:
-                continue
-            synced = self._send_sync(shard)
-            self._pool.send(shard, ("add", wires[shard]))
-            pending.append((shard, synced))
-        for shard, synced in pending:
-            if synced:
-                self._pool.recv(shard)
-            locals_ = self._pool.recv(shard)
+        pending = self._scatter(
+            [
+                (shard, ("add", wires[shard]))
+                for shard in range(self.n_shards)
+                if wires[shard]
+            ]
+        )
+        locals_by_shard = self._gather(pending)
+        for shard, locals_ in locals_by_shard.items():
             for local, tid in zip(locals_, globals_[shard]):
                 mapping = self._local_to_global[shard]
                 if local != len(mapping):
@@ -211,10 +449,13 @@ class ShardedEngine(MiningRuntime):
             shard, local = self.locate(tid)
             by_shard.setdefault(shard, []).append(local)
             self._released.add(tid)
-        for shard, locals_ in sorted(by_shard.items()):
-            self._pool.send(shard, ("release", sorted(locals_)))
-        for shard in sorted(by_shard):
-            self._pool.recv(shard)
+        pending = self._scatter(
+            [
+                (shard, ("release", sorted(locals_)))
+                for shard, locals_ in sorted(by_shard.items())
+            ]
+        )
+        self._gather(pending)
 
     def batch_support(
         self,
@@ -228,22 +469,19 @@ class ShardedEngine(MiningRuntime):
         batches = self.planner.plan(
             patterns, tid_lists, self.table, self.locate, pattern_keys
         )
-        # One pass of sends, then one pass of receives: all shards evaluate
-        # their slice of the level concurrently under the process backend.
-        pending: list[tuple[int, bool]] = []
-        for batch in batches:
-            if batch.is_empty():
-                continue
-            synced = self._send_sync(batch.shard)
-            self._pool.send(
-                batch.shard, ("batch", batch.wires, batch.tid_lists, batch.keys)
-            )
-            pending.append((batch.shard, synced))
-        results: list[Sequence[Sequence[int]] | None] = [None] * self.n_shards
-        for shard, synced in pending:
-            if synced:
-                self._pool.recv(shard)
-            results[shard] = self._pool.recv(shard)
+        # Scatter/gather: all shards evaluate their slice of the level
+        # concurrently under the process backend.
+        pending = self._scatter(
+            [
+                (batch.shard, ("batch", batch.wires, batch.tid_lists, batch.keys))
+                for batch in batches
+                if not batch.is_empty()
+            ]
+        )
+        replies = self._gather(pending)
+        results: list[Sequence[Sequence[int]] | None] = [
+            replies.get(shard) for shard in range(self.n_shards)
+        ]
         return self.planner.merge(len(patterns), batches, results, self.to_global)
 
     def batch_support_level(
@@ -252,31 +490,37 @@ class ShardedEngine(MiningRuntime):
         min_support: int | None = None,
     ) -> list[int]:
         batches = self.planner.plan_level(requests, self.table, self.locate, min_support)
-        pending: list[tuple[int, bool]] = []
-        for batch in batches:
-            if batch.is_empty():
-                continue
-            synced = self._send_sync(batch.shard)
-            self._pool.send(
-                batch.shard,
+        self._level_patterns_posted += sum(len(batch.wires) for batch in batches)
+        pending = self._scatter(
+            [
                 (
-                    "level",
-                    batch.wires,
-                    batch.tid_lists,
-                    batch.keys,
-                    batch.uids,
-                    batch.parent_uids,
-                    batch.extensions,
-                    batch.abort_bounds,
-                ),
-            )
-            pending.append((batch.shard, synced))
-        results: list[Sequence[Sequence[int]] | None] = [None] * self.n_shards
-        for shard, synced in pending:
-            if synced:
-                self._pool.recv(shard)
-            results[shard] = self._pool.recv(shard)
+                    batch.shard,
+                    (
+                        "level",
+                        batch.wires,
+                        batch.tid_lists,
+                        batch.keys,
+                        batch.uids,
+                        batch.parent_uids,
+                        batch.extensions,
+                        batch.abort_bounds,
+                    ),
+                )
+                for batch in batches
+                if not batch.is_empty()
+            ]
+        )
+        replies = self._gather(pending)
+        results: list[Sequence[Sequence[int]] | None] = [
+            replies.get(shard) for shard in range(self.n_shards)
+        ]
         return self.planner.merge_level(len(requests), batches, results, self.to_global)
+
+    def open_session(self) -> MiningSession:
+        """A mining session under the configured ``session_protocol``."""
+        if self.session_protocol == "delta":
+            return ShardedSession(self)
+        return DelegatingSession(self)
 
     def drop_anchors(self, uids) -> None:
         # Anchors are shard-local, so every shard is told to retire the
@@ -284,22 +528,195 @@ class ShardedEngine(MiningRuntime):
         uid_list = list(uids)
         if not uid_list:
             return
-        self._pool.broadcast(("drop_anchors", uid_list))
+        pending = self._scatter(
+            [(shard, ("drop_anchors", uid_list)) for shard in range(self.n_shards)]
+        )
+        self._gather(pending)
 
     def stats(self) -> dict[str, int]:
-        snapshots = self._pool.broadcast(("stats",))
-        merged = merge_stats(snapshots)
+        pending = self._scatter(
+            [(shard, ("stats",)) for shard in range(self.n_shards)]
+        )
+        replies = self._gather(pending)
+        merged = merge_stats(replies[shard] for shard in range(self.n_shards))
         merged["shards"] = self.n_shards
+        # Wire bytes are counted parent-side (once per posted message),
+        # so they are added after the per-shard merge, never summed K times.
+        merged["wire_bytes_shipped"] = self._wire_bytes
         return merged
 
     def close(self) -> None:
-        if self._closed:
+        # Defensive attribute access throughout: this also runs from
+        # __del__ during interpreter teardown, possibly on an instance
+        # whose __init__ never finished (e.g. the pool failed to start).
+        if getattr(self, "_closed", True):
             return
         self._closed = True
-        self._pool.close()
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.close()
 
     def __del__(self) -> None:  # pragma: no cover - safety net
         try:
             self.close()
         except Exception:
             pass
+
+
+class ShardedSession(MiningSession):
+    """A stateful mining session over a :class:`ShardedEngine`.
+
+    The session keeps, per shard, the set of candidate uids whose
+    patterns are resident in that shard's store, plus each resident
+    pattern's shard-local hit list (needed to encode next level's delta
+    masks).  Residency is exact by construction: the parent adds uids
+    when it ships them and removes them on the capacity evictions each
+    reply piggybacks, so the planner can decide full-vs-delta without
+    ever asking a shard.
+
+    Miner-driven evictions (:meth:`evict`) are deferred and ride on the
+    next level message to each shard — retired uids are never referenced
+    again, so the laziness trades a broadcast round trip per level for a
+    little shard memory.  :meth:`close` flushes whatever is left.
+    """
+
+    def __init__(self, runtime: ShardedEngine) -> None:
+        super().__init__()
+        self._runtime = runtime
+        self._resident: list[set] = [set() for _ in range(runtime.n_shards)]
+        self._hits: dict[tuple[int, object], list[int]] = {}
+        self._hit_index: dict[tuple[int, object], dict[int, int]] = {}
+        self._pending_evict: list[list] = [[] for _ in range(runtime.n_shards)]
+        #: Uids a shard capacity-evicted from its *pattern* store; their
+        #: anchors are still shard-resident, so a later miner eviction
+        #: must still reach that shard.
+        self._evicted_anchors: list[set] = [set() for _ in range(runtime.n_shards)]
+        self._closed = False
+
+    def _hit_positions(self, shard: int, uid: object) -> dict[int, int] | None:
+        """``local tid -> position`` over *uid*'s hit list on *shard*."""
+        key = (shard, uid)
+        index = self._hit_index.get(key)
+        if index is None:
+            hits = self._hits.get(key)
+            if hits is None:
+                return None
+            index = {tid: position for position, tid in enumerate(hits)}
+            self._hit_index[key] = index
+        return index
+
+    def _forget(self, shard: int, uid: object) -> None:
+        self._resident[shard].discard(uid)
+        self._hits.pop((shard, uid), None)
+        self._hit_index.pop((shard, uid), None)
+
+    def support_level(
+        self,
+        requests: Sequence[LevelRequest],
+        min_support: int | None = None,
+    ) -> list[int]:
+        if self._closed:
+            raise RuntimeError("mining session is closed")
+        runtime = self._runtime
+        telemetry = self._telemetry
+        planning_started = time.perf_counter()
+        batches = runtime.planner.plan_session_level(
+            requests,
+            runtime.table,
+            runtime.locate,
+            min_support,
+            resident=self._resident,
+            hit_positions=self._hit_positions,
+        )
+        messages: list[tuple[int, tuple]] = []
+        for batch in batches:
+            if batch.is_empty():
+                continue
+            evictions = self._pending_evict[batch.shard]
+            self._pending_evict[batch.shard] = []
+            messages.append(
+                (
+                    batch.shard,
+                    (
+                        "slevel",
+                        evictions,
+                        batch.payloads,
+                        batch.uids,
+                        batch.parent_uids,
+                        batch.extensions,
+                        batch.abort_bounds,
+                    ),
+                )
+            )
+            self._resident[batch.shard].update(batch.uids)
+            full = batch.count_full()
+            telemetry["patterns_full"] += full
+            telemetry["patterns_delta"] += len(batch.payloads) - full
+        telemetry["planning_seconds"] += time.perf_counter() - planning_started
+        wire_before = runtime.wire_bytes_shipped
+        pending = runtime._scatter(messages)
+        telemetry["wire_bytes"] += runtime.wire_bytes_shipped - wire_before
+        replies = runtime._gather(pending)
+        results: list[Sequence[Sequence[int]] | None] = [None] * runtime.n_shards
+        for batch in batches:
+            if batch.is_empty():
+                continue
+            hit_lists, evicted, store_hits = replies[batch.shard]
+            results[batch.shard] = hit_lists
+            for uid, hits in zip(batch.uids, hit_lists):
+                self._hits[(batch.shard, uid)] = hits
+            for uid in evicted:
+                self._forget(batch.shard, uid)
+                self._evicted_anchors[batch.shard].add(uid)
+            telemetry["evictions"] += len(evicted)
+            # Shard-observed reconstructions: equals this batch's delta
+            # count whenever residency model and shard store agree.
+            telemetry["store_hits"] += store_hits
+        return runtime.planner.merge_level(
+            len(requests), batches, results, runtime.to_global
+        )
+
+    def evict(self, uids: Iterable[object]) -> None:
+        uid_list = list(uids)
+        if not uid_list:
+            return
+        for shard in range(self._runtime.n_shards):
+            # Queue the uid only where shard state for it actually exists
+            # — the shards that evaluated it (``_hits``) or that still
+            # hold its anchors after a capacity eviction.  Uids the
+            # planner never shipped anywhere cost zero wire.  Residency
+            # is dropped immediately, so no later delta ever references
+            # a pending-evicted parent.
+            evicted_anchors = self._evicted_anchors[shard]
+            pending = self._pending_evict[shard]
+            for uid in uid_list:
+                if (shard, uid) in self._hits or uid in evicted_anchors:
+                    pending.append(uid)
+                    # Same ruler as capacity evictions: one count per
+                    # (shard, store entry) actually retired — uids the
+                    # planner never shipped anywhere count zero.
+                    if (shard, uid) in self._hits:
+                        self._telemetry["evictions"] += 1
+                    evicted_anchors.discard(uid)
+                    self._forget(shard, uid)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        runtime = self._runtime
+        messages: list[tuple[int, tuple]] = []
+        for shard in range(runtime.n_shards):
+            uids = list(self._pending_evict[shard])
+            queued = set(uids)
+            leftover = self._resident[shard] | self._evicted_anchors[shard]
+            uids.extend(sorted(uid for uid in leftover if uid not in queued))
+            self._pending_evict[shard] = []
+            self._resident[shard].clear()
+            self._evicted_anchors[shard].clear()
+            if uids:
+                messages.append((shard, ("sevict", uids)))
+        self._hits.clear()
+        self._hit_index.clear()
+        if messages and not getattr(runtime, "_closed", True):
+            runtime._gather(runtime._scatter(messages))

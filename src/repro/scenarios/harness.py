@@ -367,6 +367,12 @@ class DifferentialReport:
     payload: dict = field(default_factory=dict, repr=False)
     runs: dict[str, str] = field(default_factory=dict)
     failures: list[str] = field(default_factory=list)
+    #: Per-run aggregated runtime counters (`MiningRuntime.stats()`):
+    #: matching/cache counters plus the session-protocol counters
+    #: (wire_bytes_shipped, patterns_shipped_full/delta,
+    #: session_store_evictions).  Observational — shown in
+    #: ``scenarios verify --report`` output, never pinned in golden files.
+    runtime_stats: dict[str, dict[str, int]] = field(default_factory=dict, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -415,6 +421,7 @@ def differential_check(
             engine = MatchEngine()
             try:
                 fsg, structural = _mine_runtime_sections(scenario, data, engine, runtime)
+                report.runtime_stats[label] = runtime.stats()
             finally:
                 runtime.close()
             sections = payload_digest(

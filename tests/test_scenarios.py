@@ -290,6 +290,20 @@ class TestScenarioCli:
         ]) == 0
         entries = json.loads(report_path.read_text(encoding="utf-8"))
         assert "temporal-drift" in entries
+        # The report carries each sharded run's aggregated runtime
+        # counters, session-protocol counters included...
+        stats = entries["temporal-drift"]["runtime_stats"]["sharded-serial-k2"]
+        for counter in (
+            "wire_bytes_shipped",
+            "patterns_shipped_full",
+            "patterns_shipped_delta",
+            "session_store_evictions",
+        ):
+            assert counter in stats
+        assert stats["wire_bytes_shipped"] > 0
+        # ...but the golden file itself stays free of observational noise.
+        golden = json.loads(golden_path.read_text(encoding="utf-8"))
+        assert "runtime_stats" not in golden["temporal-drift"]
 
     def test_scenarios_verify_rejects_bad_shards_and_backends(self, capsys):
         assert cli_main(["scenarios", "verify", "--shards", "0"]) == 2
