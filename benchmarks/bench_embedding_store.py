@@ -38,6 +38,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_parallel_support import MAX_EDGES, MIN_SUPPORT, build_corpus  # noqa: E402
+from conftest import bench_env  # noqa: E402
 
 from repro.mining.fsg.miner import FSGMiner  # noqa: E402
 from repro.runtime import ShardedEngine  # noqa: E402
@@ -110,6 +111,7 @@ def main() -> None:
     )
     cpu_count = os.cpu_count() or 1
     report = {
+        "env": bench_env(),
         "n_transactions": n_transactions,
         "total_edges": n_edges,
         "workers": workers,

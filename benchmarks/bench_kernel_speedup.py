@@ -20,7 +20,11 @@ import sys
 import time
 from pathlib import Path
 
-from repro.graphs.engine import MatchEngine
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import bench_env  # noqa: E402
+
+from repro.graphs.engine import MatchEngine  # noqa: E402
 from repro.graphs.isomorphism import legacy_has_embedding
 from repro.graphs.labeled_graph import LabeledGraph
 
@@ -95,6 +99,7 @@ def main(n_transactions: int = 200) -> None:
     assert warm_supports == legacy_supports
 
     report = {
+        "env": bench_env(),
         "n_transactions": n_transactions,
         "n_patterns": len(patterns),
         "legacy_seconds": round(legacy_seconds, 4),

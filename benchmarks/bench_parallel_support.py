@@ -32,7 +32,11 @@ import sys
 import time
 from pathlib import Path
 
-from repro.graphs.labeled_graph import LabeledGraph
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import bench_env  # noqa: E402
+
+from repro.graphs.labeled_graph import LabeledGraph  # noqa: E402
 from repro.mining.fsg.miner import FSGMiner
 from repro.runtime import ShardedEngine
 
@@ -114,6 +118,7 @@ def main() -> None:
 
     cpu_count = os.cpu_count() or 1
     report = {
+        "env": bench_env(),
         "n_transactions": n_transactions,
         "total_edges": n_edges,
         "workers": workers,

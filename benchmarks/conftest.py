@@ -60,3 +60,29 @@ def record_report():
 def run_once(benchmark, function, *args, **kwargs):
     """Run *function* exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def bench_env() -> dict:
+    """The environment stamp every ``BENCH_*.json`` report embeds.
+
+    Records what actually shaped the numbers — the resolved match-kernel
+    backend, the numpy version backing it (``None`` when numpy is not
+    importable), the interpreter, and every ``REPRO_*`` environment
+    override in effect — so two benchmark artifacts can be compared
+    without guessing how they were produced.
+    """
+    import platform
+
+    from repro.graphs import columns
+    from repro.runtime import resolve_kernel
+
+    return {
+        "kernel": resolve_kernel(None),
+        "numpy_version": None if columns.np is None else str(columns.np.__version__),
+        "python_version": platform.python_version(),
+        "env_overrides": {
+            key: value
+            for key, value in sorted(os.environ.items())
+            if key.startswith("REPRO_")
+        },
+    }

@@ -1,5 +1,20 @@
 """Setuptools shim for environments without PEP 517 build isolation."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-transportation-kdd",
+    version="0.6.0",
+    description=(
+        "Reproduction of 'Knowledge Discovery from Transportation Network Data' "
+        "(ICDE 2005): FSG/SUBDUE mining over transaction graphs"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    # numpy backs the vectorized match kernel and the packed-bitset
+    # helpers; the pure-python paths still run without it (requesting
+    # kernel="vectorized" without numpy raises a clear ImportError from
+    # repro.graphs.columns.require_numpy).
+    install_requires=["numpy"],
+)

@@ -20,6 +20,10 @@ The scenario/verification subsystem rides along as ``scenarios``::
     python -m repro.cli scenarios verify --update-golden
     python -m repro.cli scenarios verify --shards 2,3 --backends serial,process
 
+Every run/verify command takes ``--kernel {python,vectorized}`` (or the
+``REPRO_KERNEL`` environment variable) to pick the support-kernel
+backend; the vectorized kernel changes wall-clock only, never output.
+
 ``scenarios verify`` runs every workload through the differential harness
 (serial vs sharded runtimes vs the legacy matcher) and compares the
 outcome digests against the golden file; it exits non-zero on any
@@ -29,6 +33,7 @@ divergence, which is what the CI scenario-matrix job checks.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -36,6 +41,7 @@ from typing import Sequence
 from repro.core.config import ExperimentConfig
 from repro.core.experiments import ALL_EXPERIMENTS
 from repro.core.results import ExperimentReport
+from repro.graphs.engine import KERNEL_ENV, KERNELS
 from repro.reporting.comparison import agreement_summary, render_comparison
 from repro.runtime.base import BACKENDS
 
@@ -88,6 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker shards for support counting (default: serial)")
     scenario_run.add_argument("--backend", choices=list(BACKENDS), default=None,
                               help="sharded-runtime backend when --workers >= 2")
+    scenario_run.add_argument("--kernel", choices=list(KERNELS), default=None,
+                              help="match-kernel backend (default: $REPRO_KERNEL or 'python')")
 
     scenario_verify = scenario_commands.add_parser(
         "verify",
@@ -103,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="comma-separated shard counts to differentiate (default 2,3)")
     scenario_verify.add_argument("--backends", default="serial",
                                  help="comma-separated pool backends (default 'serial')")
+    scenario_verify.add_argument("--kernel", choices=list(KERNELS), default=None,
+                                 help="match-kernel backend for every runtime under test "
+                                      "(default: $REPRO_KERNEL or 'python')")
     scenario_verify.add_argument("--no-oracle", action="store_true",
                                  help="skip the legacy-matcher support oracle")
     scenario_verify.add_argument("--report", type=Path, default=None,
@@ -122,6 +133,10 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=list(BACKENDS), default=None,
                         help="sharded-runtime backend when --workers >= 2 "
                              "(default: $REPRO_BACKEND or 'process')")
+    parser.add_argument("--kernel", choices=list(KERNELS), default=None,
+                        help="support-kernel backend: 'python' (pure-python oracle) or "
+                             "'vectorized' (numpy columnar passes; same output, faster) "
+                             "(default: $REPRO_KERNEL or 'python')")
     parser.add_argument("--output", type=Path, default=None,
                         help="also append the rendered comparisons to this file")
 
@@ -143,7 +158,11 @@ def _run_experiments(experiment_ids: Sequence[str], args, stream) -> int:
         return 2
     try:
         config = ExperimentConfig(
-            scale=args.scale, seed=args.seed, workers=args.workers, backend=args.backend
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            backend=args.backend,
+            kernel=args.kernel,
         )
     except ValueError as error:
         print(f"invalid configuration: {error}", file=sys.stderr)
@@ -183,7 +202,7 @@ def _scenarios_run(args, stream) -> int:
         return 2
     runtime = None
     if resolve_workers(args.workers) > 1:
-        runtime = create_runtime(workers=args.workers, backend=args.backend)
+        runtime = create_runtime(workers=args.workers, backend=args.backend, kernel=args.kernel)
     try:
         for name in args.names:
             outcome = run_scenario(get_scenario(name), runtime=runtime)
@@ -296,17 +315,31 @@ def main(argv: Sequence[str] | None = None, stream=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.command == "list":
-        for experiment_id in ALL_EXPERIMENTS:
-            summary = _EXPERIMENT_SUMMARIES.get(experiment_id, "")
-            print(f"{experiment_id:8s} {summary}", file=stream)
-        return 0
-    if args.command == "run":
-        return _run_experiments(args.experiments, args, stream)
-    if args.command == "all":
-        return _run_experiments(list(ALL_EXPERIMENTS), args, stream)
-    if args.command == "scenarios":
-        return _run_scenarios_command(args, stream)
+    kernel = getattr(args, "kernel", None)
+    saved_kernel = os.environ.get(KERNEL_ENV)
+    if kernel:
+        # The scenario harness (and any worker process) builds engines
+        # directly, so the environment variable is the carrier: one flag
+        # switches every MatchEngine the run creates.
+        os.environ[KERNEL_ENV] = kernel
+    try:
+        if args.command == "list":
+            for experiment_id in ALL_EXPERIMENTS:
+                summary = _EXPERIMENT_SUMMARIES.get(experiment_id, "")
+                print(f"{experiment_id:8s} {summary}", file=stream)
+            return 0
+        if args.command == "run":
+            return _run_experiments(args.experiments, args, stream)
+        if args.command == "all":
+            return _run_experiments(list(ALL_EXPERIMENTS), args, stream)
+        if args.command == "scenarios":
+            return _run_scenarios_command(args, stream)
+    finally:
+        if kernel:
+            if saved_kernel is None:
+                os.environ.pop(KERNEL_ENV, None)
+            else:
+                os.environ[KERNEL_ENV] = saved_kernel
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse handles this
     return 2  # pragma: no cover
 

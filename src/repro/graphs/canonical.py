@@ -30,35 +30,60 @@ class CanonicalizationError(RuntimeError):
 
 
 def _initial_colours(graph: LabeledGraph) -> dict[VertexId, str]:
+    # Reads the adjacency dicts directly (same strings as the public
+    # accessors): this and _refine_colours run once per candidate per
+    # mining level, the hottest canonicalisation path.
+    succ = graph._succ
+    pred = graph._pred
     return {
-        vertex: f"{graph.vertex_label(vertex)}|{graph.in_degree(vertex)}|{graph.out_degree(vertex)}"
-        for vertex in graph.vertices()
+        vertex: f"{label}|{len(pred[vertex])}|{len(succ[vertex])}"
+        for vertex, label in graph._vertex_labels.items()
     }
 
 
 def _refine_colours(graph: LabeledGraph, colours: dict[VertexId, str], rounds: int = 3) -> dict[VertexId, str]:
     """Weisfeiler-Lehman colour refinement respecting edge labels and direction."""
+    succ = graph._succ
+    pred = graph._pred
+    vertices = list(graph._vertex_labels)
+    n_vertices = len(vertices)
     current = dict(colours)
+    n_classes = len(set(current.values()))
     for _ in range(rounds):
+        if n_classes == n_vertices:
+            # Discrete partition: another round cannot split further.
+            break
         updated: dict[VertexId, str] = {}
-        for vertex in graph.vertices():
+        for vertex in vertices:
             out_signature = sorted(
-                f"+{graph.edge_label(vertex, succ)}>{current[succ]}" for succ in graph.successors(vertex)
+                [f"+{label}>{current[target]}" for target, label in succ[vertex].items()]
             )
             in_signature = sorted(
-                f"-{graph.edge_label(pred, vertex)}<{current[pred]}" for pred in graph.predecessors(vertex)
+                [f"-{label}<{current[source]}" for source, label in pred[vertex].items()]
             )
             updated[vertex] = f"{current[vertex]}({';'.join(out_signature)})({';'.join(in_signature)})"
-        if len(set(updated.values())) == len(set(current.values())):
+        n_updated = len(set(updated.values()))
+        if n_updated == n_classes:
             # No further splitting; compress strings to keep them short.
             break
         current = updated
+        n_classes = n_updated
     # Compress colour strings to small integers for stability and brevity.
     palette = {colour: index for index, colour in enumerate(sorted(set(current.values())))}
     return {vertex: f"c{palette[current[vertex]]}" for vertex in current}
 
 
-def graph_invariant(graph: LabeledGraph) -> str:
+def refined_colours(graph: LabeledGraph) -> dict[VertexId, str]:
+    """The refined colouring both fingerprints below are built from.
+
+    Exposed so callers that need *both* the invariant and the canonical
+    code of one graph (the dedup path does) can refine once and pass the
+    result to each — the strings produced are byte-identical either way.
+    """
+    return _refine_colours(graph, _initial_colours(graph))
+
+
+def graph_invariant(graph: LabeledGraph, colours: dict[VertexId, str] | None = None) -> str:
     """A cheap isomorphism-invariant fingerprint of *graph*.
 
     Isomorphic graphs always produce the same invariant.  Distinct graphs
@@ -66,14 +91,16 @@ def graph_invariant(graph: LabeledGraph) -> str:
     the small labeled patterns mined here is rare; exactness-sensitive
     callers should verify collisions with an isomorphism test.
     """
-    colours = _refine_colours(graph, _initial_colours(graph))
+    if colours is None:
+        colours = refined_colours(graph)
     vertex_part = ",".join(
-        sorted(f"{graph.vertex_label(v)}~{colours[v]}" for v in graph.vertices())
+        sorted(f"{label}~{colours[v]}" for v, label in graph._vertex_labels.items())
     )
     edge_part = ",".join(
         sorted(
-            f"{colours[e.source]}-{e.label}->{colours[e.target]}"
-            for e in graph.edges()
+            f"{colours[source]}-{label}->{colours[target]}"
+            for source, targets in graph._succ.items()
+            for target, label in targets.items()
         )
     )
     return f"V[{vertex_part}]E[{edge_part}]"
@@ -81,15 +108,24 @@ def graph_invariant(graph: LabeledGraph) -> str:
 
 def _encode_with_order(graph: LabeledGraph, order: list[VertexId]) -> str:
     index = {vertex: position for position, vertex in enumerate(order)}
-    vertex_part = ",".join(str(graph.vertex_label(vertex)) for vertex in order)
+    labels = graph._vertex_labels
+    vertex_part = ",".join([str(labels[vertex]) for vertex in order])
     edge_entries = sorted(
-        (index[edge.source], index[edge.target], str(edge.label)) for edge in graph.edges()
+        [
+            (index[source], index[target], str(label))
+            for source, targets in graph._succ.items()
+            for target, label in targets.items()
+        ]
     )
-    edge_part = ",".join(f"{s}-{t}:{label}" for s, t, label in edge_entries)
+    edge_part = ",".join([f"{s}-{t}:{label}" for s, t, label in edge_entries])
     return f"{vertex_part}|{edge_part}"
 
 
-def canonical_code(graph: LabeledGraph, max_orderings: int = 50_000) -> str:
+def canonical_code(
+    graph: LabeledGraph,
+    max_orderings: int = 50_000,
+    colours: dict[VertexId, str] | None = None,
+) -> str:
     """An exact canonical string: equal iff two graphs are isomorphic.
 
     Vertices are first partitioned by refined colour; the code is the
@@ -103,7 +139,8 @@ def canonical_code(graph: LabeledGraph, max_orderings: int = 50_000) -> str:
     vertices = list(graph.vertices())
     if not vertices:
         return "empty"
-    colours = _refine_colours(graph, _initial_colours(graph))
+    if colours is None:
+        colours = refined_colours(graph)
     groups: dict[str, list[VertexId]] = {}
     for vertex in vertices:
         groups.setdefault(colours[vertex], []).append(vertex)
@@ -119,6 +156,11 @@ def canonical_code(graph: LabeledGraph, max_orderings: int = 50_000) -> str:
                 f"graph with {graph.n_vertices} vertices is too symmetric to "
                 f"canonicalise exhaustively (> {max_orderings} orderings)"
             )
+
+    if total_orderings == 1:
+        # Discrete partition (the overwhelmingly common case for the tiny
+        # patterns mined here): the one compatible ordering IS the code.
+        return _encode_with_order(graph, [groups[key][0] for key in group_keys])
 
     best: str | None = None
 

@@ -1,0 +1,166 @@
+"""Columnar (structure-of-arrays) views over :class:`CompactGraph`.
+
+The vectorized match kernel (:mod:`repro.graphs.vectorized`) replaces the
+per-anchor Python loops of the embedding store with whole-batch numpy
+passes, which needs the graph in contiguous array form:
+
+* ``vertex_labels`` — one ``int64`` per vertex;
+* CSR adjacency in both directions — ``out_indptr`` / ``out_nbr`` /
+  ``out_lbl`` (and the ``in_*`` mirror), flattened in exactly the
+  adjacency-tuple order of the compact graph, so a vectorized scan
+  enumerates neighbours in the same order the Python kernel does —
+  plus both directions fused into ``all_nbr`` / ``all_lbl`` (the
+  in-direction offset by ``in_base``) so one gather serves a batch of
+  mixed-direction extensions;
+* ``edge_keys`` — every edge as the scalar ``source * n_vertices +
+  target``, sorted, with ``edge_key_labels`` aligned, so a backward-edge
+  probe over a whole anchor batch is one ``searchsorted``;
+* per-triple seed-pair arrays (built lazily per queried triple, self-loop
+  pairs already removed, bucket order preserved) for single-edge seeding.
+
+Columns are derived data cached on the (immutable) compact graph itself —
+see :meth:`CompactGraph.columns` — so their lifetime *is* the invalidation
+rule: a mutated :class:`LabeledGraph` transaction gets a fresh compact
+form on re-index (the engine's ``_version`` discipline), and a released
+transaction drops its compact graph, columns and all.  Nothing here is
+ever updated in place.
+
+numpy is optional at import time: importing this module without numpy
+works (so ``repro.graphs`` stays importable), but building columns raises
+a clear :class:`ImportError` via :func:`require_numpy`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.compact import CompactGraph
+
+
+def require_numpy() -> None:
+    """Raise a clear error when the vectorized kernel lacks its dependency."""
+    if np is None:
+        raise ImportError(
+            "the vectorized match kernel requires numpy, which is not "
+            "importable in this environment; install numpy or select the "
+            'pure-python kernel (kernel="python" / REPRO_KERNEL=python)'
+        )
+
+
+class GraphColumns:
+    """Contiguous-array form of one :class:`CompactGraph` (read-only)."""
+
+    __slots__ = (
+        "n_vertices",
+        "vertex_labels",
+        "out_indptr",
+        "out_nbr",
+        "out_lbl",
+        "in_indptr",
+        "in_nbr",
+        "in_lbl",
+        "out_degree",
+        "in_degree",
+        "all_nbr",
+        "all_lbl",
+        "in_base",
+        "edge_keys",
+        "edge_key_labels",
+        "_seed_pairs",
+    )
+
+    def __init__(self, compact: "CompactGraph") -> None:
+        require_numpy()
+        n = compact.n_vertices
+        self.n_vertices = n
+        self.vertex_labels = np.asarray(compact.vertex_labels, dtype=np.int64)
+
+        self.out_indptr, self.out_nbr, self.out_lbl = _csr_of(compact.out_adj, n)
+        self.in_indptr, self.in_nbr, self.in_lbl = _csr_of(compact.in_adj, n)
+        self.out_degree = np.diff(self.out_indptr)
+        self.in_degree = np.diff(self.in_indptr)
+
+        # Both directions fused into one flat array so a mixed batch of
+        # forward extensions (some scanning successors, some
+        # predecessors) expands through a single gather: in-direction
+        # slots live at ``in_base + in_indptr[v]``.
+        self.all_nbr = np.concatenate([self.out_nbr, self.in_nbr])
+        self.all_lbl = np.concatenate([self.out_lbl, self.in_lbl])
+        self.in_base = self.out_nbr.size
+
+        # Simple directed graphs: one edge per ordered (source, target)
+        # pair, so the scalar key source*n + target identifies it.
+        sources = np.repeat(np.arange(n, dtype=np.int64), self.out_degree)
+        keys = sources * n + self.out_nbr
+        order = np.argsort(keys, kind="stable")
+        self.edge_keys = keys[order]
+        self.edge_key_labels = self.out_lbl[order]
+        self._seed_pairs: dict[tuple[int, int, int], "np.ndarray"] = {}
+
+    def candidates(self, label_id: int, min_out: int, min_in: int) -> list[int]:
+        """Vectorized :meth:`GraphIndex.candidates`; identical output.
+
+        Label buckets are vertex-ascending, so the masked ``flatnonzero``
+        returns exactly the bucket-filter list of the python index.
+        """
+        mask = self.vertex_labels == label_id
+        if min_out > 0:
+            mask &= self.out_degree >= min_out
+        if min_in > 0:
+            mask &= self.in_degree >= min_in
+        return np.flatnonzero(mask).tolist()
+
+    def edge_probe(self, sources, targets, labels):
+        """Whether each ``(sources[i], targets[i])`` edge exists with ``labels[i]``.
+
+        One batched ``searchsorted`` over the sorted edge keys — the
+        vectorized form of the backward-extension dict probe.
+        """
+        keys = sources * self.n_vertices + targets
+        if self.edge_keys.size == 0:
+            return np.zeros(keys.shape, dtype=bool)
+        slots = np.searchsorted(self.edge_keys, keys)
+        slots_clipped = np.minimum(slots, self.edge_keys.size - 1)
+        return (self.edge_keys[slots_clipped] == keys) & (
+            self.edge_key_labels[slots_clipped] == labels
+        )
+
+    def seed_pairs(self, index, triple: tuple[int, int, int]):
+        """``(source, target)`` rows realising *triple*, self-loops removed.
+
+        Cached per triple; rows keep the triple-bucket order of
+        :meth:`GraphIndex.triple_edges`, which is what makes the capped
+        anchor sets of vectorized seeding identical to the python path's.
+        """
+        cached = self._seed_pairs.get(triple)
+        if cached is None:
+            pairs = [pair for pair in index.triple_edges(triple) if pair[0] != pair[1]]
+            cached = np.asarray(pairs, dtype=np.int64).reshape(len(pairs), 2)
+            self._seed_pairs[triple] = cached
+        return cached
+
+
+def _csr_of(adjacency, n_vertices: int):
+    """(indptr, neighbours, labels) CSR arrays preserving adjacency order."""
+    indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+    for vertex, pairs in enumerate(adjacency):
+        indptr[vertex + 1] = indptr[vertex] + len(pairs)
+    total = int(indptr[-1])
+    neighbours = np.empty(total, dtype=np.int64)
+    labels = np.empty(total, dtype=np.int64)
+    cursor = 0
+    for pairs in adjacency:
+        for neighbour, label in pairs:
+            neighbours[cursor] = neighbour
+            labels[cursor] = label
+            cursor += 1
+    return indptr, neighbours, labels
+
+
+__all__ = ["GraphColumns", "require_numpy"]

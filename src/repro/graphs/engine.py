@@ -40,6 +40,7 @@ to have distinct ``str()`` forms.
 
 from __future__ import annotations
 
+import os
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -52,6 +53,31 @@ from repro.graphs.labeled_graph import LabeledGraph, VertexId
 
 #: Sentinel for "canonical code unavailable" pattern keys.
 _NO_KEY = object()
+
+#: Environment variable supplying the default match-kernel backend.
+KERNEL_ENV = "REPRO_KERNEL"
+#: Match-kernel backends understood by :class:`MatchEngine`.
+KERNELS = ("python", "vectorized")
+
+
+def resolve_kernel(kernel: str | None = None) -> str:
+    """Validate *kernel*, falling back to ``REPRO_KERNEL`` when ``None``.
+
+    ``"python"`` is the pure-python reference kernel (the differential
+    oracle); ``"vectorized"`` routes the incremental support path through
+    the numpy columnar kernel (:mod:`repro.graphs.vectorized`).  The
+    vectorized choice is validated eagerly so a missing numpy fails here,
+    with a clear message, rather than mid-mine.
+    """
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV, "").strip() or "python"
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    if kernel == "vectorized":
+        from repro.graphs.columns import require_numpy
+
+        require_numpy()
+    return kernel
 
 
 @dataclass
@@ -187,10 +213,16 @@ class MatchEngine:
         verdict_cache_size: int = 1 << 17,
         anchor_cap: int = 8,
         anchor_budget: int = 1 << 20,
+        kernel: str | None = None,
     ) -> None:
         if anchor_cap < 1:
             raise ValueError(f"anchor_cap must be at least 1, got {anchor_cap}")
         self.table = label_table if label_table is not None else LabelTable()
+        #: Match-kernel backend: ``"python"`` (the reference oracle) or
+        #: ``"vectorized"`` (numpy columnar passes); ``None`` consults
+        #: ``REPRO_KERNEL``.  Both produce identical verdicts and anchor
+        #: sets — the knob trades implementation, never output.
+        self.kernel = resolve_kernel(kernel)
         self.verdict_cache_size = verdict_cache_size
         #: Max embeddings kept per (pattern uid, tid) anchor entry.
         self.anchor_cap = anchor_cap
@@ -241,6 +273,11 @@ class MatchEngine:
         if entry is not None and entry.version == version:
             return entry.index
         index = GraphIndex(CompactGraph.from_labeled(graph, self.table))
+        # The compact form round-trips losslessly, so the original graph
+        # can serve as the index's labeled view — fingerprints skip the
+        # to_labeled reconstruction.  Mutations bump the graph's version
+        # and land in a fresh index, so the view cannot go stale here.
+        index._labeled_form = graph
         self._entries[graph] = _Entry(version, index)
         self.stats.indexes_built += 1
         return index
@@ -248,6 +285,24 @@ class MatchEngine:
     def compact_of(self, graph: LabeledGraph) -> CompactGraph:
         """The (cached) compact form of *graph*."""
         return self.index_of(graph).compact
+
+    def adopt_compact(self, graph: LabeledGraph, compact: CompactGraph) -> GraphIndex:
+        """Cache a pre-built compact form as *graph*'s index.
+
+        *compact* must be field-for-field what
+        :meth:`CompactGraph.from_labeled` would produce for *graph* (see
+        :meth:`CompactGraph.extended`) — candidate generation derives
+        child compacts from their parents' instead of rebuilding, and
+        files them here so the support pass finds them ready.
+        """
+        if compact.table is not self.table:
+            raise ValueError("compact form was interned through a different label table")
+        version = getattr(graph, "_version", 0)
+        index = GraphIndex(compact)
+        index._labeled_form = graph
+        self._entries[graph] = _Entry(version, index)
+        self.stats.indexes_built += 1
+        return index
 
     def graph_invariant(self, graph: LabeledGraph) -> str:
         """Memoized cheap isomorphism-invariant fingerprint of *graph*."""
@@ -643,7 +698,12 @@ class MatchEngine:
             )
             feasible = candidate_cache.get(requirement)
             if feasible is None:
-                feasible = t_index.candidates(*requirement)
+                # The columnar mask pass returns the identical ascending
+                # vertex list as the index's bucket filter.
+                if self.kernel == "vectorized":
+                    feasible = t_index.columns().candidates(*requirement)
+                else:
+                    feasible = t_index.candidates(*requirement)
                 candidate_cache[requirement] = feasible
             if not feasible:
                 return False
@@ -691,7 +751,16 @@ class MatchEngine:
         :meth:`support`; the scan is transaction-major like
         :meth:`batch_support` and verdicts are written to the same LRU.
         Returns one ascending tid list per task.
+
+        Under ``kernel="vectorized"`` the batch is answered by the numpy
+        columnar kernel instead (:mod:`repro.graphs.vectorized`) —
+        identical tid lists and anchor-store effects, batched array
+        passes instead of per-anchor loops, and no verdict-LRU traffic.
         """
+        if self.kernel == "vectorized":
+            from repro.graphs import vectorized
+
+            return vectorized.support_with_embeddings(self, tasks)
         infos = [_IncrementalPattern(self._index_of_any(task.pattern), task) for task in tasks]
         for info in infos:
             provided = info.task.key
@@ -981,9 +1050,12 @@ class MatchEngine:
 
         Skipping (anonymous task, or budget exhausted) is always safe:
         absent entries just push the pattern's children onto the fallback
-        search.  Anchors influence speed, never verdicts.
+        search.  Anchors influence speed, never verdicts.  *embeddings*
+        may be a tuple of tuples (python kernel) or an ``(anchors,
+        width)`` ndarray (vectorized kernel) — only its length matters
+        here.
         """
-        if uid is None or not embeddings:
+        if uid is None or len(embeddings) == 0:
             return
         if self._anchor_load + len(embeddings) > self.anchor_budget:
             return
@@ -1037,13 +1109,21 @@ class MatchEngine:
             return []
         self.stats.searches += 1
 
-        # Per pattern vertex: label/degree-bucket candidates from the index.
+        # Per pattern vertex: label/degree-bucket candidates from the index
+        # (or the identical columnar mask pass under the vectorized kernel).
+        vectorized = self.kernel == "vectorized"
+        columns = t_index.columns() if vectorized else None
         candidates: list[list[int]] = []
         for p_vertex in range(pattern.n_vertices):
-            feasible = t_index.candidates(
+            requirement = (
                 pattern.vertex_labels[p_vertex],
                 len(pattern.out_adj[p_vertex]),
                 len(pattern.in_adj[p_vertex]),
+            )
+            feasible = (
+                columns.candidates(*requirement)
+                if vectorized
+                else t_index.candidates(*requirement)
             )
             if not feasible:
                 return []

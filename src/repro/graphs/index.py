@@ -18,7 +18,7 @@ ask for them.
 
 from __future__ import annotations
 
-from repro.graphs.canonical import canonical_code, graph_invariant
+from repro.graphs.canonical import canonical_code, graph_invariant, refined_colours
 from repro.graphs.compact import CompactGraph
 from repro.graphs.labeled_graph import LabeledGraph
 
@@ -36,6 +36,8 @@ class GraphIndex:
         "edge_label_hist",
         "triples",
         "_triple_edges",
+        "_labeled_form",
+        "_colours",
         "_invariant",
         "_canonical_code",
         "_canonical_error",
@@ -61,6 +63,8 @@ class GraphIndex:
         self.edge_label_hist = edge_label_hist
         self.triples = triples
         self._triple_edges: dict[tuple[int, int, int], tuple[tuple[int, int], ...]] | None = None
+        self._labeled_form: LabeledGraph | None = None
+        self._colours = None
         self._invariant = _UNSET
         self._canonical_code = _UNSET
         self._canonical_error: Exception | None = None
@@ -80,6 +84,11 @@ class GraphIndex:
             if len(compact.out_adj[vertex]) >= min_out
             and len(compact.in_adj[vertex]) >= min_in
         ]
+
+    def columns(self):
+        """The underlying graph's (cached) columnar view — see
+        :meth:`CompactGraph.columns`."""
+        return self.compact.columns()
 
     def triple_edges(self, triple: tuple[int, int, int]) -> tuple[tuple[int, int], ...]:
         """The ``(source, target)`` edges realising *triple* in this graph.
@@ -135,7 +144,7 @@ class GraphIndex:
     def invariant(self) -> str:
         """Memoized :func:`graph_invariant` of the underlying graph."""
         if self._invariant is _UNSET:
-            self._invariant = graph_invariant(self._labeled())
+            self._invariant = graph_invariant(self._labeled(), colours=self._refined())
         return self._invariant
 
     def canonical(self, max_orderings: int = 50_000) -> str:
@@ -149,14 +158,25 @@ class GraphIndex:
             raise self._canonical_error
         if self._canonical_code is _UNSET:
             try:
-                self._canonical_code = canonical_code(self._labeled(), max_orderings=max_orderings)
+                self._canonical_code = canonical_code(
+                    self._labeled(), max_orderings=max_orderings, colours=self._refined()
+                )
             except Exception as error:
                 self._canonical_error = error
                 raise
         return self._canonical_code
 
     def _labeled(self) -> LabeledGraph:
-        return self.compact.to_labeled()
+        if self._labeled_form is None:
+            self._labeled_form = self.compact.to_labeled()
+        return self._labeled_form
+
+    def _refined(self):
+        # One colour refinement serves both fingerprints (the strings are
+        # byte-identical to the unshared computation).
+        if self._colours is None:
+            self._colours = refined_colours(self._labeled())
+        return self._colours
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"GraphIndex({self.compact!r})"

@@ -1,0 +1,674 @@
+"""The vectorized (numpy) backend of the incremental support kernel.
+
+This module is the ``kernel="vectorized"`` implementation of
+:meth:`MatchEngine.support_with_embeddings`: the same level-batch
+semantics as the pure-python path — which remains the differential
+oracle — with the per-anchor inner loops replaced by whole-level array
+passes.
+
+The python kernel walks the level transaction-major: for each tid, each
+scheduled task extends its handful of stored anchors through dict
+probes.  At that granularity a numpy translation loses — batches of
+three anchors cannot amortise array-call overhead — so this kernel
+flattens the *entire level* into one (task, tid) item space and runs a
+fixed number of passes over it:
+
+* the scheduled transactions' columnar views
+  (:class:`~repro.graphs.columns.GraphColumns`) are concatenated into
+  one global fused adjacency / edge-key / vertex-label arena, with each
+  transaction's vertices rebased by its offset — transactions are
+  disjoint, so a single gather or ``searchsorted`` serves every
+  transaction at once;
+* each parent pattern's stored anchors are viewed as one columnar
+  *bundle* (sorted tid array, stacked anchor matrix, completeness and
+  version arrays); the bundles behind one pass are themselves
+  concatenated into a parent arena keyed by ``(parent ordinal, tid)``,
+  so classifying every scheduled item of the pass — fresh anchors vs.
+  fallback — is one ``searchsorted``, not a dict probe per (task, tid);
+* **backward extensions** (new edge between two anchored vertices)
+  become one batched probe of the global edge keys; **forward
+  extensions** (new edge to a brand-new vertex) become one ragged
+  adjacency expansion per anchor width; both harvest their capped hits
+  with the oracle's enumeration order (anchor-major, adjacency order)
+  and cap arithmetic;
+* **single-edge seeding** reads the columns' cached per-triple seed-pair
+  arrays; **fallback** items (stale/missing/incomplete-miss anchors) run
+  the engine's full indexed backtracking search, exactly the cases the
+  python kernel would also search.
+
+Two deliberate, verdict-neutral scheduling differences from the oracle
+(both documented here because the differential tests must not assert on
+them):
+
+* **No mid-scan abort.**  The python kernel stops scanning a task once
+  ``hits + remaining`` cannot reach ``abort_below``.  A task's final
+  verdict is ``hits over the full scan >= threshold`` either way — a
+  task that would reach the threshold can never abort, and one that
+  aborts can never reach it — so scanning to the end changes only how
+  much work infrequent tasks cost and the partial tid lists they
+  return (this kernel returns the full lists, a superset).  The upfront
+  abort (scan list shorter than ``abort_below``) is kept, as is every
+  verdict.
+* **Stores are deferred and gated.**  Anchor harvests are buffered and
+  written only for tasks that end the level at or above their
+  ``abort_below`` — anchors of infrequent patterns are never read
+  (children are generated from surviving patterns only), and anchors
+  influence speed, never verdicts.
+
+The other difference carried over from the per-transaction design: this
+path never touches the verdict LRU (no probes, no writes) — within a
+level run no ``(pattern, tid)`` pair repeats, so the cache could only
+ever repay its bookkeeping on exotic cross-path call mixes, and skipping
+it is verdict-neutral by construction.  Stats reflect the scheduling:
+``verdict_hits`` / ``verdict_misses`` stay zero here, and abort/reject
+counters tally the full-scan schedule rather than the oracle's truncated
+one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graphs.columns import require_numpy
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+# Per-task evaluation strategies, resolved once before the level scan.
+# BACKWARD/FORWARD items still fall back to FULL per transaction when the
+# parent's anchors for that transaction are missing or stale.
+_EMPTY, _BACKWARD, _FORWARD, _SEED, _FULL = range(5)
+
+
+def _anchor_array(entry):
+    """*entry*'s embeddings as an ``(anchors, width)`` int64 array.
+
+    Entries written by this kernel already hold arrays; tuple-form
+    entries (e.g. written by the python kernel before a backend switch)
+    are converted once and the conversion is cached back onto the entry.
+    """
+    embeddings = entry.embeddings
+    if not isinstance(embeddings, np.ndarray):
+        embeddings = np.asarray(embeddings, dtype=np.int64).reshape(
+            len(embeddings), -1
+        )
+        entry.embeddings = embeddings
+    return embeddings
+
+
+def _task_meta(info):
+    """The task's scan-invariant strategy descriptor (see ``_EMPTY`` .. ``_FULL``)."""
+    pattern = info.index.compact
+    task = info.task
+    extension = task.extension
+    if pattern.n_vertices == 0:
+        return (_EMPTY,)
+    if extension is not None:
+        source_pos, target_pos, has_new = extension
+        edge_label = pattern.edge_label_of[(source_pos, target_pos)]
+        if not has_new:
+            return (_BACKWARD, source_pos, target_pos, edge_label)
+        new_pos = pattern.n_vertices - 1
+        if target_pos == new_pos:
+            anchor_pos, use_out = source_pos, 1
+        else:
+            anchor_pos, use_out = target_pos, 0
+        return (
+            _FORWARD,
+            anchor_pos,
+            edge_label,
+            pattern.vertex_labels[new_pos],
+            use_out,
+        )
+    if pattern.n_edges == 1 and pattern.n_vertices == 2:
+        ((source_pos, target_pos),) = pattern.edge_label_of
+        edge_label = pattern.edge_label_of[(source_pos, target_pos)]
+        triple = (
+            pattern.vertex_labels[source_pos],
+            edge_label,
+            pattern.vertex_labels[target_pos],
+        )
+        return (_SEED, triple, source_pos)
+    return (_FULL,)
+
+
+def _bundle_of(per_tid_entries):
+    """One parent uid's anchor store as aligned columnar arrays.
+
+    Returns ``(tids, counts, starts, stack, complete, versions)``:
+    ascending stored tids, each tid's anchor-row count and first row in
+    the stacked ``(rows, width)`` matrix, and per-tid completeness and
+    version flags.  Built once per kernel call per parent and shared by
+    all its children.
+    """
+    tids = sorted(per_tid_entries)
+    blocks = []
+    counts = np.empty(len(tids), dtype=np.int64)
+    complete = np.empty(len(tids), dtype=bool)
+    versions = np.empty(len(tids), dtype=np.int64)
+    for row, tid in enumerate(tids):
+        entry = per_tid_entries[tid]
+        block = _anchor_array(entry)
+        blocks.append(block)
+        counts[row] = block.shape[0]
+        complete[row] = entry.complete
+        versions[row] = entry.version
+    starts = np.empty(len(tids), dtype=np.int64)
+    if len(tids):
+        starts[0] = 0
+        np.cumsum(counts[:-1], out=starts[1:])
+    stack = np.concatenate(blocks, axis=0) if blocks else np.zeros((0, 1), np.int64)
+    return np.asarray(tids, dtype=np.int64), counts, starts, stack, complete, versions
+
+
+class _Group:
+    """Accumulator for one extension pass (one kind, one anchor width).
+
+    Tasks contribute their whole scan list plus an ordinal pointing at
+    their parent's bundle in the group's parent registry; everything
+    per-item is derived in one assembly step (:func:`_assemble`).
+    """
+
+    __slots__ = (
+        "t_tids", "bases", "task_pos", "metas", "pords",
+        "p_ord_of", "p_tids", "p_counts", "p_starts", "p_stacks",
+        "p_complete", "p_versions",
+    )
+
+    def __init__(self):
+        self.t_tids = []      # one ascending tid array per task
+        self.bases = []       # first global item index per task
+        self.task_pos = []    # task position per task
+        self.metas = []       # scan-invariant meta tuple per task
+        self.pords = []       # parent ordinal per task
+        self.p_ord_of = {}    # parent uid -> ordinal
+        self.p_tids = []      # bundle columns, one entry per parent
+        self.p_counts = []
+        self.p_starts = []
+        self.p_stacks = []
+        self.p_complete = []
+        self.p_versions = []
+
+    def add_parent(self, puid, bundle):
+        ordinal = self.p_ord_of.get(puid)
+        if ordinal is None:
+            ordinal = len(self.p_tids)
+            self.p_ord_of[puid] = ordinal
+            tids, counts, starts, stack, complete, versions = bundle
+            self.p_tids.append(tids)
+            self.p_counts.append(counts)
+            self.p_starts.append(starts)
+            self.p_stacks.append(stack)
+            self.p_complete.append(complete)
+            self.p_versions.append(versions)
+        return ordinal
+
+
+def _assemble(group, tid_arr, versions, fallback_items, infos, stats, meta_width):
+    """Flatten one group into per-item arrays and gather its anchors.
+
+    Classifies every (task, tid) item against the group's parent arena
+    in one ``searchsorted`` over ``(parent ordinal, tid)`` keys; stale or
+    missing items go to *fallback_items*.  Returns ``None`` when nothing
+    is fresh, else the per-item arrays the extension pass consumes.
+    """
+    arange = np.arange
+    run_lens = np.array([t.size for t in group.t_tids], dtype=np.int64)
+    qtids = np.concatenate(group.t_tids)
+    n_q = qtids.size
+    off = np.empty(run_lens.size + 1, dtype=np.int64)
+    off[0] = 0
+    np.cumsum(run_lens, out=off[1:])
+    reps = np.repeat(arange(run_lens.size), run_lens)
+    gidx = np.asarray(group.bases, dtype=np.int64)[reps] + (
+        arange(n_q) - off[:-1][reps]
+    )
+    task_pos = np.asarray(group.task_pos, dtype=np.int64)[reps]
+    slots = np.searchsorted(tid_arr, qtids)
+
+    # The parent arena: all bundles of the group stacked, addressed by
+    # (parent ordinal, tid) scalar keys so one search classifies all.
+    p_sizes = np.array([t.size for t in group.p_tids], dtype=np.int64)
+    arena_ptids = np.concatenate(group.p_tids)
+    arena_ord = np.repeat(arange(p_sizes.size), p_sizes)
+    modulus = int(tid_arr[-1]) if tid_arr.size else 0
+    if arena_ptids.size:
+        modulus = max(modulus, int(arena_ptids[-1]), int(arena_ptids.max()))
+    modulus += 1
+    arena_keys = arena_ord * modulus + arena_ptids
+    qkeys = np.asarray(group.pords, dtype=np.int64)[reps] * modulus + qtids
+    pos = np.searchsorted(arena_keys, qkeys)
+    pos_c = np.minimum(pos, arena_keys.size - 1)
+    arena_versions = np.concatenate(group.p_versions)
+    fresh = (arena_keys[pos_c] == qkeys) & (
+        arena_versions[pos_c] == versions[slots]
+    )
+    if not fresh.all():
+        miss_task = task_pos[~fresh].tolist()
+        miss_gidx = gidx[~fresh].tolist()
+        miss_slot = slots[~fresh].tolist()
+        for index, position in enumerate(miss_task):
+            fallback_items.append(
+                (miss_gidx[index], infos[position], miss_slot[index])
+            )
+        keep = np.flatnonzero(fresh)
+        if keep.size == 0:
+            stats.anchor_extensions += 0
+            return None
+        gidx = gidx[keep]
+        task_pos = task_pos[keep]
+        slots = slots[keep]
+        qtids = qtids[keep]
+        reps = reps[keep]
+        entry = pos_c[keep]
+    else:
+        entry = pos_c
+    stats.anchor_extensions += gidx.size
+
+    # Gather every fresh item's anchor rows from the stacked arena.
+    p_rows = np.array([s.shape[0] for s in group.p_stacks], dtype=np.int64)
+    row_off = np.empty(p_rows.size + 1, dtype=np.int64)
+    row_off[0] = 0
+    np.cumsum(p_rows, out=row_off[1:])
+    arena_starts = np.concatenate(
+        [starts + row_off[i] for i, starts in enumerate(group.p_starts)]
+    )
+    arena_counts = np.concatenate(group.p_counts)
+    arena_complete = np.concatenate(group.p_complete)
+    arena_stack = np.concatenate(group.p_stacks, axis=0)
+    counts = arena_counts[entry]
+    starts = arena_starts[entry]
+    cum = np.empty(counts.size + 1, dtype=np.int64)
+    cum[0] = 0
+    np.cumsum(counts, out=cum[1:])
+    item_of_row = np.repeat(arange(counts.size), counts)
+    rows = starts[item_of_row] + (arange(int(cum[-1])) - cum[:-1][item_of_row])
+    anchors = arena_stack[rows]
+    metas_arr = np.array(
+        [meta[1 : 1 + meta_width] for meta in group.metas], dtype=np.int64
+    )[reps]
+    complete = arena_complete[entry]
+    return gidx, slots, task_pos, counts, cum, item_of_row, anchors, metas_arr, complete
+
+
+def support_with_embeddings(engine, tasks: Sequence) -> list[list[int]]:
+    """Vectorized :meth:`MatchEngine.support_with_embeddings`.
+
+    *engine* is the owning :class:`~repro.graphs.engine.MatchEngine`;
+    verdicts, returned-hit semantics, and the anchor-store contract match
+    the pure-python path (see the module docstring for the two
+    verdict-neutral scheduling differences).
+    """
+    require_numpy()
+    from repro.graphs.engine import _IncrementalPattern
+
+    infos = [_IncrementalPattern(engine._index_of_any(task.pattern), task) for task in tasks]
+    stats = engine.stats
+    stats.batch_calls += 1
+    stats.batch_patterns += len(infos)
+
+    # ---- phase 1: scan lists, triple filter, upfront abort, strategies
+    compact_tids = engine._compact_tids
+    metas: list[tuple] = []
+    task_tids: list[list[int]] = []
+    for info in infos:
+        metas.append(_task_meta(info))
+        tids = list(info.task.tids)
+        allowed = engine._triple_filter(info.index)
+        if allowed is not None and compact_tids:
+            kept = [tid for tid in tids if tid not in compact_tids or tid in allowed]
+            stats.early_rejects += len(tids) - len(kept)
+            tids = kept
+        abort_below = info.task.abort_below
+        if abort_below is not None and len(tids) < abort_below:
+            info.remaining = len(tids)
+            info.dead = True
+            stats.support_aborts += 1
+            task_tids.append([])
+            continue
+        info.remaining = 0  # the whole scan is scheduled upfront
+        tids.sort()
+        if info.task.parent_uid is not None:
+            info.parent_entries = engine._anchors.get(info.task.parent_uid)
+        task_tids.append(tids)
+
+    # ---- transaction contexts: one fetch per distinct scheduled tid
+    tid_list = sorted({tid for tids in task_tids for tid in tids})
+    n_tids = len(tid_list)
+    versions = np.empty(n_tids, dtype=np.int64)
+    t_indexes = []
+    col_list = []
+    for slot, tid in enumerate(tid_list):
+        version, t_index = engine._transaction_index(tid)
+        versions[slot] = version
+        t_indexes.append(t_index)
+        col_list.append(t_index.columns())
+    tid_arr = np.asarray(tid_list, dtype=np.int64)
+
+    # ---- the global arena: every scheduled transaction, rebased -------
+    empty_i64 = np.zeros(0, dtype=np.int64)
+    if n_tids:
+        vcounts = np.array([c.n_vertices for c in col_list], dtype=np.int64)
+        vbase = np.empty(n_tids + 1, dtype=np.int64)
+        vbase[0] = 0
+        np.cumsum(vcounts, out=vbase[1:])
+        n_global = int(vbase[-1])
+        g_vlab = np.concatenate([c.vertex_labels for c in col_list])
+        block_sizes = np.array([c.all_nbr.size for c in col_list], dtype=np.int64)
+        ebase = np.empty(n_tids + 1, dtype=np.int64)
+        ebase[0] = 0
+        np.cumsum(block_sizes, out=ebase[1:])
+        g_all_nbr = np.concatenate(
+            [c.all_nbr + vbase[s] for s, c in enumerate(col_list)]
+        )
+        g_all_lbl = np.concatenate([c.all_lbl for c in col_list])
+        g_out_start = np.concatenate(
+            [c.out_indptr[:-1] + ebase[s] for s, c in enumerate(col_list)]
+        )
+        g_out_deg = np.concatenate([c.out_degree for c in col_list])
+        g_in_start = np.concatenate(
+            [c.in_indptr[:-1] + (ebase[s] + c.in_base) for s, c in enumerate(col_list)]
+        )
+        g_in_deg = np.concatenate([c.in_degree for c in col_list])
+        # Per-transaction edge keys recoded to global vertex ids: blocks
+        # are vertex-disjoint and ascending, so concatenation stays sorted.
+        g_ekeys = np.concatenate(
+            [
+                (c.edge_keys // c.n_vertices + vbase[s]) * n_global
+                + (c.edge_keys % c.n_vertices + vbase[s])
+                if c.edge_keys.size
+                else empty_i64
+                for s, c in enumerate(col_list)
+            ]
+        )
+        g_elbl = np.concatenate([c.edge_key_labels for c in col_list])
+    else:
+        vbase = np.zeros(1, dtype=np.int64)
+        n_global = 0
+        g_ekeys = g_elbl = empty_i64
+
+    # ---- item layout: task-major, so verdicts are contiguous slices ---
+    bounds = np.empty(len(infos) + 1, dtype=np.int64)
+    bounds[0] = 0
+    cursor = 0
+    for position, tids in enumerate(task_tids):
+        cursor += len(tids)
+        bounds[position + 1] = cursor
+    n_items = cursor
+    results = np.zeros(n_items, dtype=bool)
+    items_tid_parts: list = []
+
+    # ---- route each task to its pass ----------------------------------
+    cap = engine.anchor_cap
+    arange = np.arange
+    backward_groups: dict[int, _Group] = {}
+    forward_groups: dict[int, _Group] = {}
+    seed_tasks: list[tuple] = []
+    fallback_items: list[tuple] = []  # (global item index, info, slot)
+    store_records: list[tuple] = []   # (task position, uid, slot, emb, complete)
+    bundles: dict[object, tuple] = {}
+    for position, info in enumerate(infos):
+        tids = task_tids[position]
+        if not tids:
+            continue
+        t_tids = np.asarray(tids, dtype=np.int64)
+        items_tid_parts.append(t_tids)
+        meta = metas[position]
+        kind = meta[0]
+        base = int(bounds[position])
+        if kind == _EMPTY:
+            results[base : base + len(tids)] = True
+            continue
+        if kind == _SEED:
+            seed_tasks.append(
+                (position, info, meta, base, np.searchsorted(tid_arr, t_tids))
+            )
+            continue
+        bundle = None
+        if kind != _FULL:
+            parent_store = info.parent_entries
+            if parent_store:
+                puid = info.task.parent_uid
+                bundle = bundles.get(puid)
+                if bundle is None:
+                    bundle = _bundle_of(parent_store)
+                    bundles[puid] = bundle
+        if bundle is None:
+            # FULL tasks and extensions whose parent has no stored anchors.
+            for j, slot in enumerate(np.searchsorted(tid_arr, t_tids).tolist()):
+                fallback_items.append((base + j, info, slot))
+            continue
+        group_map = backward_groups if kind == _BACKWARD else forward_groups
+        width = bundle[3].shape[1]
+        group = group_map.get(width)
+        if group is None:
+            group = group_map[width] = _Group()
+        group.t_tids.append(t_tids)
+        group.bases.append(base)
+        group.task_pos.append(position)
+        group.metas.append(meta)
+        group.pords.append(group.add_parent(info.task.parent_uid, bundle))
+
+    # ---- backward pass: one probe of the global edge keys -------------
+    for group in backward_groups.values():
+        assembled = _assemble(
+            group, tid_arr, versions, fallback_items, infos, stats, meta_width=3
+        )
+        if assembled is None:
+            continue
+        (gidx, slots, task_pos, counts, cum, item_of_row, anchors,
+         metas_arr, complete) = assembled
+        n_it = gidx.size
+        n_rows = anchors.shape[0]
+        vb_rows = vbase[slots][item_of_row]
+        row_ix = arange(n_rows)
+        src = anchors[row_ix, metas_arr[item_of_row, 0]] + vb_rows
+        tgt = anchors[row_ix, metas_arr[item_of_row, 1]] + vb_rows
+        keys = src * n_global + tgt
+        if g_ekeys.size:
+            pos = np.searchsorted(g_ekeys, keys)
+            pos_c = np.minimum(pos, g_ekeys.size - 1)
+            ok = (g_ekeys[pos_c] == keys) & (
+                g_elbl[pos_c] == metas_arr[item_of_row, 2]
+            )
+        else:
+            ok = np.zeros(n_rows, dtype=bool)
+        hit_flats = np.flatnonzero(ok)
+        ok_cum = np.empty(n_rows + 1, dtype=np.int64)
+        ok_cum[0] = 0
+        np.cumsum(ok, dtype=np.int64, out=ok_cum[1:])
+        firsts = ok_cum[cum[:-1]]
+        hit_counts = ok_cum[cum[1:]] - firsts
+        kept = np.minimum(hit_counts, cap)
+        if hit_flats.size:
+            item_of_hit = item_of_row[hit_flats]
+            selected = hit_flats[
+                arange(hit_flats.size) - firsts[item_of_hit] < kept[item_of_hit]
+            ]
+            selected_anchors = anchors[selected]
+        sel_bounds = np.empty(n_it + 1, dtype=np.int64)
+        sel_bounds[0] = 0
+        np.cumsum(kept, out=sel_bounds[1:])
+        _finish_extension_pass(
+            stats, results, fallback_items, store_records, infos,
+            gidx, slots, complete, task_pos,
+            hit_counts, sel_bounds,
+            selected_anchors if hit_flats.size else None, cap,
+        )
+
+    # ---- forward pass: one ragged adjacency expansion per width -------
+    for group in forward_groups.values():
+        assembled = _assemble(
+            group, tid_arr, versions, fallback_items, infos, stats, meta_width=4
+        )
+        if assembled is None:
+            continue
+        (gidx, slots, task_pos, counts, cum, item_of_row, anchors,
+         metas_arr, complete) = assembled
+        n_it = gidx.size
+        n_rows = anchors.shape[0]
+        vb_rows = vbase[slots][item_of_row]
+        anchored = anchors[arange(n_rows), metas_arr[item_of_row, 0]] + vb_rows
+        use_out = metas_arr[item_of_row, 3] == 1
+        starts = np.where(use_out, g_out_start[anchored], g_in_start[anchored])
+        degrees = np.where(use_out, g_out_deg[anchored], g_in_deg[anchored])
+        flat_starts = np.empty(n_rows + 1, dtype=np.int64)
+        flat_starts[0] = 0
+        np.cumsum(degrees, out=flat_starts[1:])
+        total = int(flat_starts[-1])
+        item_flat_starts = flat_starts[cum[:-1]]
+        item_flat_ends = flat_starts[cum[1:]]
+        if total:
+            row_of = np.repeat(arange(n_rows), degrees)
+            flat = starts[row_of] + (arange(total) - flat_starts[:-1][row_of])
+            found = g_all_nbr[flat]
+            item_of_flat = item_of_row[row_of]
+            ok = (g_all_lbl[flat] == metas_arr[item_of_flat, 1]) & (
+                g_vlab[found] == metas_arr[item_of_flat, 2]
+            )
+            found_local = found - vb_rows[row_of]
+            # Injectivity: the new vertex must be outside its anchor
+            # (column-wise to avoid materialising the 2-D broadcast).
+            for column in range(anchors.shape[1]):
+                ok &= found_local != anchors[row_of, column]
+            hit_flats = np.flatnonzero(ok)
+            ok_cum = np.empty(total + 1, dtype=np.int64)
+            ok_cum[0] = 0
+            np.cumsum(ok, dtype=np.int64, out=ok_cum[1:])
+            firsts = ok_cum[item_flat_starts]
+            hit_counts = ok_cum[item_flat_ends] - firsts
+        else:
+            hit_flats = empty_i64
+            firsts = np.zeros(n_it, dtype=np.int64)
+            hit_counts = np.zeros(n_it, dtype=np.int64)
+        kept = np.minimum(hit_counts, cap)
+        if hit_flats.size:
+            item_of_hit = item_of_flat[hit_flats]
+            selected = hit_flats[
+                arange(hit_flats.size) - firsts[item_of_hit] < kept[item_of_hit]
+            ]
+            rows_selected = row_of[selected]
+            selected_anchors = np.concatenate(
+                [anchors[rows_selected], found_local[selected][:, None]], axis=1
+            )
+        sel_bounds = np.empty(n_it + 1, dtype=np.int64)
+        sel_bounds[0] = 0
+        np.cumsum(kept, out=sel_bounds[1:])
+        _finish_extension_pass(
+            stats, results, fallback_items, store_records, infos,
+            gidx, slots, complete, task_pos,
+            hit_counts, sel_bounds,
+            selected_anchors if hit_flats.size else None, cap,
+        )
+
+    # ---- single-edge seeding from the triple buckets ------------------
+    for position, info, meta, base, t_slots in seed_tasks:
+        triple = meta[1]
+        flip = meta[2] != 0
+        uid = info.task.uid
+        for j, slot in enumerate(t_slots.tolist()):
+            stats.anchor_seeds += 1
+            pairs = col_list[slot].seed_pairs(t_indexes[slot], triple)
+            n_pairs = pairs.shape[0]
+            if n_pairs == 0:
+                continue
+            taken = pairs if n_pairs <= cap else pairs[:cap]
+            # Seed-pair rows are (source, target); flip when the pattern
+            # maps its source to position 1.
+            embeddings = taken if not flip else taken[:, ::-1]
+            store_records.append((position, uid, slot, embeddings, n_pairs <= cap))
+            results[base + j] = True
+
+    # ---- full-search fallback (routed + extension misses) -------------
+    for gitem, info, slot in fallback_items:
+        stats.anchor_fallbacks += 1
+        found = engine._compact_embeddings(info.index, t_indexes[slot], max_count=cap)
+        if not found:
+            continue
+        n_vertices = info.index.compact.n_vertices
+        embeddings = np.asarray(
+            [[mapping[p] for p in range(n_vertices)] for mapping in found],
+            dtype=np.int64,
+        ).reshape(len(found), n_vertices)
+        store_records.append(
+            (_position_of(bounds, gitem), info.task.uid, slot, embeddings,
+             len(found) < cap)
+        )
+        results[gitem] = True
+
+    # ---- verdicts: contiguous per-task slices of the hit items --------
+    if n_items:
+        items_tid = np.concatenate(items_tid_parts)
+        hit_positions = np.flatnonzero(results)
+        hit_tids = items_tid[hit_positions].tolist()
+        cuts = np.searchsorted(hit_positions, bounds).tolist()
+        for position, info in enumerate(infos):
+            info.hits = hit_tids[cuts[position] : cuts[position + 1]]
+
+    # A task that finishes below its bound would have aborted mid-scan in
+    # the python kernel (``hits + remaining`` drops under ``abort_below``
+    # on the last scheduled tid at the latest), so tallying one abort per
+    # such task keeps the counter kernel-identical.
+    for info in infos:
+        abort_below = info.task.abort_below
+        if abort_below is not None and not info.dead and len(info.hits) < abort_below:
+            stats.support_aborts += 1
+
+    # ---- deferred, survival-gated anchor stores ------------------------
+    store = engine._store_anchors
+    versions_list = versions.tolist()
+    for position, uid, slot, embeddings, complete in store_records:
+        info = infos[position]
+        abort_below = info.task.abort_below
+        if abort_below is not None and len(info.hits) < abort_below:
+            continue
+        store(uid, tid_list[slot], embeddings, complete, versions_list[slot])
+
+    return [info.hits for info in infos]
+
+
+def _position_of(bounds, gitem):
+    """The task position owning global item *gitem* (bisect on bounds)."""
+    return int(np.searchsorted(bounds, gitem, side="right")) - 1
+
+
+def _finish_extension_pass(
+    stats, results, fallback_items, store_records, infos,
+    gidx, slots, complete, task_pos,
+    hit_counts, sel_bounds, selected_anchors, cap,
+):
+    """Verdicts, rejects, and store records for one extension pass."""
+    hit_mask = hit_counts > 0
+    results[gidx[hit_mask]] = True
+    zero = ~hit_mask
+    stats.anchor_complete_rejects += int((zero & complete).sum())
+    # Zero hits against an incomplete parent set prove nothing: full search.
+    for k in np.flatnonzero(zero & ~complete).tolist():
+        fallback_items.append(
+            (int(gidx[k]), infos[int(task_pos[k])], int(slots[k]))
+        )
+    if selected_anchors is None:
+        return
+    hit_items = np.flatnonzero(hit_mask).tolist()
+    sel_bounds_list = sel_bounds.tolist()
+    hit_counts_list = hit_counts.tolist()
+    task_pos_list = task_pos.tolist()
+    slots_list = slots.tolist()
+    complete_list = complete.tolist()
+    for k in hit_items:
+        position = task_pos_list[k]
+        info = infos[position]
+        store_records.append(
+            (
+                position,
+                info.task.uid,
+                slots_list[k],
+                selected_anchors[sel_bounds_list[k] : sel_bounds_list[k + 1]],
+                complete_list[k] and hit_counts_list[k] < cap,
+            )
+        )
+
+
+__all__ = ["support_with_embeddings", "require_numpy"]

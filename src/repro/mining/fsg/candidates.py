@@ -26,7 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
 
-from repro.graphs.canonical import CanonicalizationError, graph_invariant
+from repro.graphs.canonical import (
+    CanonicalizationError,
+    canonical_code,
+    graph_invariant,
+    refined_colours,
+)
 from repro.graphs.engine import MatchEngine
 from repro.graphs.isomorphism import are_isomorphic
 from repro.graphs.labeled_graph import LabeledGraph
@@ -87,11 +92,20 @@ class Candidate:
     extension: Extension | None = None
     extension_labels: tuple[Hashable, Hashable | None] | None = None
     uid: object = None
+    parent_pattern: LabeledGraph | None = None
+    colours: dict | None = None
+    code: object = None
 
     def fingerprint(self) -> str:
-        """The pattern's cheap isomorphism-invariant key, computed lazily."""
+        """The pattern's cheap isomorphism-invariant key, computed lazily.
+
+        The refined colouring behind the invariant is kept on the
+        candidate so a later canonical-code comparison (same colouring,
+        by construction) does not refine the pattern a second time.
+        """
         if not self.invariant:
-            self.invariant = graph_invariant(self.pattern)
+            self.colours = refined_colours(self.pattern)
+            self.invariant = graph_invariant(self.pattern, colours=self.colours)
         return self.invariant
 
 
@@ -239,7 +253,7 @@ def deduplicate(
     for candidate in candidates:
         bucket = buckets.setdefault(candidate.fingerprint(), [])
         for existing in bucket:
-            if _same_class(existing.pattern, candidate.pattern, engine):
+            if _same_class(existing, candidate, engine):
                 existing.parent_tids = existing.parent_tids | candidate.parent_tids
                 # The candidate embeds nowhere its parent doesn't, for
                 # *every* parent it merged from — so the bitset scan list
@@ -256,14 +270,39 @@ def deduplicate(
     return unique
 
 
-def _same_class(first: LabeledGraph, second: LabeledGraph, engine: MatchEngine | None) -> bool:
-    """Whether two patterns are isomorphic, via canonical codes when possible."""
-    if engine is not None:
+#: Memoized marker for patterns whose canonicalisation overflowed.
+_CANON_FAILED = object()
+
+
+def _canonical_of(candidate: Candidate):
+    """*candidate*'s memoized canonical code (or the failure marker).
+
+    Reuses the refined colouring cached by :meth:`Candidate.fingerprint`,
+    so deciding a candidate's isomorphism class costs one refinement
+    total — and no engine index build for candidates that do not survive
+    deduplication.
+    """
+    code = candidate.code
+    if code is None:
+        if candidate.colours is None:
+            candidate.colours = refined_colours(candidate.pattern)
         try:
-            return engine.canonical_code(first) == engine.canonical_code(second)
+            code = canonical_code(candidate.pattern, colours=candidate.colours)
         except CanonicalizationError:
-            return engine.are_isomorphic(first, second)
-    return are_isomorphic(first, second)
+            code = _CANON_FAILED
+        candidate.code = code
+    return code
+
+
+def _same_class(first: Candidate, second: Candidate, engine: MatchEngine | None) -> bool:
+    """Whether two candidates are isomorphic, via canonical codes when possible."""
+    if engine is not None:
+        code_a = _canonical_of(first)
+        code_b = _canonical_of(second)
+        if code_a is _CANON_FAILED or code_b is _CANON_FAILED:
+            return engine.are_isomorphic(first.pattern, second.pattern)
+        return code_a == code_b
+    return are_isomorphic(first.pattern, second.pattern)
 
 
 def generate_candidates(
@@ -292,6 +331,26 @@ def generate_candidates(
                     parent_uid=parent.uid,
                     extension=extension,
                     extension_labels=extension_labels(extended, extension),
+                    parent_pattern=parent.pattern,
                 )
             )
-    return deduplicate(raw, engine=engine)
+    unique = deduplicate(raw, engine=engine)
+    if engine is not None:
+        # Derive each survivor's compact form from its parent's (one new
+        # edge) and file it with the engine: the support pass then skips
+        # the full from_labeled rebuild per evaluated candidate.
+        for candidate in unique:
+            extension = candidate.extension
+            if extension is None or candidate.parent_pattern is None:
+                continue
+            source_pos, target_pos, _has_new = extension
+            edge_label, new_vertex_label = candidate.extension_labels
+            parent_compact = engine.compact_of(candidate.parent_pattern)
+            engine.adopt_compact(
+                candidate.pattern,
+                parent_compact.extended(
+                    source_pos, target_pos, edge_label, new_vertex_label,
+                    candidate.pattern,
+                ),
+            )
+    return unique

@@ -120,12 +120,17 @@ class FSGMiner:
     engine: MatchEngine | None = None
     runtime: MiningRuntime | None = None
     use_embedding_store: bool = True
+    #: Match-kernel backend for the engine this miner creates when
+    #: ``engine`` is ``None`` — ``"python"``, ``"vectorized"``, or
+    #: ``None`` to consult ``REPRO_KERNEL``.  Ignored when a caller
+    #: supplies its own engine or runtime (those already chose).
+    kernel: str | None = None
 
     def mine(self, transactions: Sequence[LabeledGraph]) -> FSGResult:
         """Mine all frequent connected subgraphs from *transactions*."""
         n_transactions = len(transactions)
         support_threshold = _resolve_min_support(self.min_support, n_transactions)
-        engine = self.engine if self.engine is not None else MatchEngine()
+        engine = self.engine if self.engine is not None else MatchEngine(kernel=self.kernel)
         runtime = self.runtime if self.runtime is not None else SerialRuntime(engine=engine)
         runtime_tids = runtime.add_transactions(transactions)
         try:
@@ -191,7 +196,10 @@ class FSGMiner:
                 live_uids = [candidate.uid for candidate, _ in level_patterns]
                 session.support_level(
                     self._level_requests(
-                        [candidate for candidate, _ in level_patterns], engine, to_global
+                        [candidate for candidate, _ in level_patterns],
+                        engine,
+                        to_global,
+                        wants_keys=getattr(session, "wants_keys", True),
                     )
                 )
             result.level_seconds[1] = time.perf_counter() - level_started
@@ -311,18 +319,25 @@ class FSGMiner:
         candidates: Sequence[Candidate],
         engine: MatchEngine,
         to_global: Callable[[int], int],
+        wants_keys: bool = True,
     ) -> list[LevelRequest]:
         """Wrap *candidates* for the runtime's incremental level API.
 
-        Canonical codes were memoized by deduplication an instant ago, so
-        attaching them as verdict keys is a dict probe, not a search.
+        Verdict-cache keys are attached only when the session asked for
+        them (:attr:`MiningSession.wants_keys`): canonicalising every
+        candidate is this loop's dominant cost, and sessions whose
+        kernel never probes the verdict LRU mark the keys unwanted.
+        ``key=False`` (uncacheable) is the always-correct substitute.
         """
         requests: list[LevelRequest] = []
         for candidate in candidates:
-            try:
-                key: object = engine.canonical_code(candidate.pattern)
-            except CanonicalizationError:
-                key = False
+            if not wants_keys:
+                key: object = False
+            else:
+                try:
+                    key = engine.canonical_code(candidate.pattern)
+                except CanonicalizationError:
+                    key = False
             requests.append(
                 LevelRequest(
                     pattern=candidate.pattern,
@@ -364,7 +379,12 @@ class FSGMiner:
             if popcount(candidate.parent_bits) >= support_threshold
         ]
         supports = session.support_level(
-            self._level_requests(viable, engine, to_global),
+            self._level_requests(
+                viable,
+                engine,
+                to_global,
+                wants_keys=getattr(session, "wants_keys", True),
+            ),
             min_support=support_threshold,
         )
         surviving: list[tuple[Candidate, frozenset[int]]] = []

@@ -19,12 +19,13 @@ scales that hot path without ever changing mining output:
   (``multiprocessing`` workers speaking the CompactGraph wire format).
 
 Pick a runtime with :func:`create_runtime`, or set ``REPRO_WORKERS`` /
-``REPRO_BACKEND`` to switch a whole run (or CI job) without code changes.
+``REPRO_BACKEND`` / ``REPRO_KERNEL`` to switch a whole run (or CI job)
+without code changes.
 """
 
 from __future__ import annotations
 
-from repro.graphs.engine import MatchEngine
+from repro.graphs.engine import KERNEL_ENV, KERNELS, MatchEngine, resolve_kernel
 from repro.runtime.base import (
     BACKENDS,
     SESSION_TELEMETRY_KEYS,
@@ -37,7 +38,16 @@ from repro.runtime.base import (
     resolve_backend,
     resolve_workers,
 )
-from repro.runtime.bitsets import bits_of, popcount, tids_of
+from repro.runtime.bitsets import (
+    bits_of,
+    bits_to_buffer,
+    buffer_to_bits,
+    pack_bits,
+    popcount,
+    tids_from_buffer,
+    tids_of,
+    unpack_bits,
+)
 from repro.runtime.planner import (
     BatchSupportPlanner,
     ShardBatch,
@@ -50,6 +60,8 @@ from repro.runtime.shards import ShardedEngine, ShardedSession, ShardWorker
 
 __all__ = [
     "BACKENDS",
+    "KERNELS",
+    "KERNEL_ENV",
     "SESSION_TELEMETRY_KEYS",
     "BatchSupportPlanner",
     "DelegatingSession",
@@ -68,13 +80,19 @@ __all__ = [
     "WorkerError",
     "WorkerPool",
     "bits_of",
+    "bits_to_buffer",
+    "buffer_to_bits",
     "create_runtime",
     "make_pool",
     "merge_stats",
+    "pack_bits",
     "popcount",
     "resolve_backend",
+    "resolve_kernel",
     "resolve_workers",
+    "tids_from_buffer",
     "tids_of",
+    "unpack_bits",
     "wire_cost",
 ]
 
@@ -83,6 +101,7 @@ def create_runtime(
     workers: int | None = None,
     backend: str | None = None,
     engine: MatchEngine | None = None,
+    kernel: str | None = None,
 ) -> MiningRuntime:
     """The runtime implied by a ``workers`` knob.
 
@@ -92,12 +111,17 @@ def create_runtime(
     :class:`ShardedEngine` with that many shards on *backend* (defaulting
     to ``process``, or ``REPRO_BACKEND``).
 
+    *kernel* picks the support-kernel backend (``"python"`` or
+    ``"vectorized"``, defaulting to ``REPRO_KERNEL`` or ``"python"``) and
+    applies to every engine the runtime owns — shard engines included.
+
     *engine* applies to the serial case only: a sharded runtime owns one
     engine (label table, indexes, verdict cache) per shard by design, so
     a caller-supplied engine — and any caches warmed in it — is not used
-    when sharding is selected.
+    when sharding is selected.  Passing both *engine* and a conflicting
+    *kernel* raises.
     """
     workers = resolve_workers(workers)
     if workers <= 1:
-        return SerialRuntime(engine=engine)
-    return ShardedEngine(shards=workers, backend=backend)
+        return SerialRuntime(engine=engine, kernel=kernel)
+    return ShardedEngine(shards=workers, backend=backend, kernel=kernel)

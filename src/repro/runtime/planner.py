@@ -27,7 +27,7 @@ from typing import Callable, Sequence
 
 from repro.graphs.compact import CompactGraph, LabelTable
 from repro.graphs.labeled_graph import LabeledGraph
-from repro.runtime.bitsets import bits_of, tids_of
+from repro.runtime.bitsets import bits_of, bits_to_buffer, tids_of
 
 
 def wire_cost(value) -> int:
@@ -224,11 +224,12 @@ class BatchSupportPlanner:
         for batch, result in zip(batches, shard_results):
             if result is None:
                 continue
+            shard = batch.shard
             for position, locals_ in zip(batch.positions, result):
-                bits = 0
-                for local in locals_:
-                    bits |= 1 << to_global(batch.shard, local)
-                merged[position] |= bits
+                if locals_:
+                    merged[position] |= bits_of(
+                        [to_global(shard, local) for local in locals_]
+                    )
         return merged
 
 
@@ -249,17 +250,23 @@ class BatchSupportPlanner:
         Like :meth:`plan_level`, but each ``(request, shard)`` pair ships
         the cheapest payload the shard's state allows:
 
-        * **delta** ``("d", edge_label_id, new_label_id, mask)`` when the
-          request's parent is resident on the shard (``resident[shard]``)
-          and its local hit positions are known — the shard rebuilds the
-          candidate from the stored parent, and ``mask`` encodes the
-          candidate's local scan set as a bitset over the *parent's*
-          shard-local hit list (a few bits instead of a tid list, sound
-          because a candidate's scan set is contained in every parent's
-          support);
-        * **full wire** ``("w", wire, tid_bits)`` for roots, requests with
-          no derivation, and store misses — ``tid_bits`` being the local
-          scan set as a plain local-tid bitset.
+        * **delta** ``("d", edge_label_id, new_label_id, mask_buffer)``
+          when the request's parent is resident on the shard
+          (``resident[shard]``) and its local hit positions are known —
+          the shard rebuilds the candidate from the stored parent, and
+          ``mask_buffer`` encodes the candidate's local scan set as a
+          flat little-endian bitset buffer over the *parent's* shard-local
+          hit list (a few bytes instead of a tid list, sound because a
+          candidate's scan set is contained in every parent's support);
+        * **full wire** ``("w", wire, tid_buffer)`` for roots, requests
+          with no derivation, and store misses — ``tid_buffer`` being the
+          local scan set as a flat local-tid bitset buffer.
+
+        Scan sets ship as :func:`~repro.runtime.bitsets.bits_to_buffer`
+        byte strings rather than arbitrary-precision ints: the receiver
+        decodes them with one vectorized
+        :func:`~repro.runtime.bitsets.tids_from_buffer` unpack, and the
+        buffer pickles as raw bytes with no bignum re-encoding.
 
         Session payloads deliberately carry no verdict-cache keys: a
         session's tids die with its run (released on mine exit, which
@@ -310,12 +317,12 @@ class BatchSupportPlanner:
                                 "d",
                                 table.intern(edge_label),
                                 None if new_label is None else table.intern(new_label),
-                                mask,
+                                bits_to_buffer(mask),
                             )
                 if payload is None:
                     if wire is None:
                         wire = self._wire_of(request.pattern, table)
-                    payload = ("w", wire, bits_of(locals_))
+                    payload = ("w", wire, bits_to_buffer(bits_of(locals_)))
                 batch = batches[shard]
                 batch.positions.append(position)
                 batch.payloads.append(payload)
@@ -336,8 +343,9 @@ class ShardSessionBatch:
 
     Parallel lists aligned with ``positions`` (indices into the level's
     request list).  ``payloads[i]`` is the pattern+scan shipment for
-    request ``positions[i]`` — a full-wire ``("w", wire, tid_bits)`` or a
-    delta ``("d", edge_label_id, new_label_id, mask)`` tuple (see
+    request ``positions[i]`` — a full-wire ``("w", wire, tid_buffer)`` or
+    a delta ``("d", edge_label_id, new_label_id, mask_buffer)`` tuple,
+    scan sets as flat bitset byte buffers (see
     :meth:`BatchSupportPlanner.plan_session_level`).  Replies align with
     ``positions`` too, so :meth:`BatchSupportPlanner.merge_level` merges
     session batches unchanged.

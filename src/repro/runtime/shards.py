@@ -42,7 +42,7 @@ from collections import OrderedDict
 from typing import Any, Iterable, Sequence
 
 from repro.graphs.compact import CompactGraph, LabelTable
-from repro.graphs.engine import EmbeddingTask, MatchEngine
+from repro.graphs.engine import EmbeddingTask, MatchEngine, resolve_kernel
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.runtime.base import (
     DelegatingSession,
@@ -52,7 +52,7 @@ from repro.runtime.base import (
     merge_stats,
     resolve_backend,
 )
-from repro.runtime.bitsets import tids_of
+from repro.runtime.bitsets import tids_from_buffer, tids_of
 from repro.runtime.planner import BatchSupportPlanner, wire_cost
 from repro.runtime.pool import make_pool
 
@@ -92,8 +92,9 @@ class ShardWorker:
         ``evictions`` (parent-retired uids, piggybacked here instead of
         costing their own round trip) are applied first — pattern store
         and anchors both.  Each ``payloads[i]`` is a full wire
-        ``("w", wire, tid_bits)`` or a delta
-        ``("d", edge_label_id, new_label_id, mask)`` reconstructed from
+        ``("w", wire, tid_buffer)`` or a delta
+        ``("d", edge_label_id, new_label_id, mask_buffer)`` — scan sets
+        as flat bitset byte buffers — reconstructed from
         the stored parent; every pattern is filed in the store under its
         uid, and its resulting hit list is remembered so next level's
         delta masks can be decoded against it.  Reply with
@@ -111,11 +112,18 @@ class ShardWorker:
         worker's session-protocol counters.
     """
 
-    def __init__(self, store_capacity: int = DEFAULT_STORE_CAPACITY) -> None:
+    def __init__(
+        self,
+        store_capacity: int = DEFAULT_STORE_CAPACITY,
+        kernel: str | None = None,
+    ) -> None:
         if store_capacity < 1:
             raise ValueError(f"store_capacity must be at least 1, got {store_capacity}")
         self.table = LabelTable()
-        self.engine = MatchEngine(self.table)
+        # The parent resolves the kernel once and passes it explicitly,
+        # so every shard runs the same backend whatever the worker
+        # process's environment says.
+        self.engine = MatchEngine(self.table, kernel=kernel)
         self.store_capacity = store_capacity
         #: Per-uid shard-local hit lists (ascending), kept alongside the
         #: engine's pattern store: delta masks index into the *parent's*
@@ -154,10 +162,10 @@ class ShardWorker:
             payloads, uids, parent_uids, extensions, bounds
         ):
             if payload[0] == "w":
-                _, wire, tid_bits = payload
+                _, wire, tid_buffer = payload
                 compact = CompactGraph.from_wire(wire, self.table)
                 index = self.engine.register_session_pattern(uid, compact)
-                tids = tids_of(tid_bits)
+                tids = tids_from_buffer(tid_buffer)
                 counters["patterns_shipped_full"] += 1
             elif payload[0] == "d":
                 _, edge_label_id, new_label_id, mask = payload
@@ -170,7 +178,7 @@ class ShardWorker:
                         f"no stored hit list for parent {parent_uid!r} "
                         f"while decoding the scan mask of {uid!r}"
                     )
-                tids = [parent_hits[offset] for offset in tids_of(mask)]
+                tids = [parent_hits[offset] for offset in tids_from_buffer(mask)]
                 counters["patterns_shipped_delta"] += 1
                 store_hits += 1
             else:
@@ -289,6 +297,7 @@ class ShardedEngine(MiningRuntime):
         backend: str | None = None,
         session_protocol: str = "delta",
         session_store_capacity: int = DEFAULT_STORE_CAPACITY,
+        kernel: str | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -300,6 +309,10 @@ class ShardedEngine(MiningRuntime):
         self.n_shards = shards
         self.backend = resolve_backend(backend)
         self.session_protocol = session_protocol
+        #: Match-kernel backend of every shard engine; resolved here
+        #: (env fallback included) so process workers inherit the
+        #: parent's choice rather than re-reading their own environment.
+        self.kernel = resolve_kernel(kernel)
         self.table = LabelTable()
         self.planner = BatchSupportPlanner(shards)
         self._wire_bytes = 0
@@ -307,7 +320,11 @@ class ShardedEngine(MiningRuntime):
         self._pool = make_pool(
             self.backend,
             shards,
-            functools.partial(ShardWorker, store_capacity=session_store_capacity),
+            functools.partial(
+                ShardWorker,
+                store_capacity=session_store_capacity,
+                kernel=self.kernel,
+            ),
         )
         self._synced = [0] * shards
         self._local_to_global: list[list[int]] = [[] for _ in range(shards)]
@@ -345,6 +362,15 @@ class ShardedEngine(MiningRuntime):
         time, so the counter is identical across pool backends.
         """
         return self._wire_bytes
+
+    @property
+    def wants_verdict_keys(self) -> bool:
+        """Whether level requests should carry verdict-cache keys.
+
+        Mirrors :attr:`SerialRuntime.wants_verdict_keys`: only shard
+        engines on the pure-python kernel ever probe the verdict LRU.
+        """
+        return self.kernel == "python"
 
     @property
     def level_patterns_posted(self) -> int:
@@ -579,6 +605,11 @@ class ShardedSession(MiningSession):
     again, so the laziness trades a broadcast round trip per level for a
     little shard memory.  :meth:`close` flushes whatever is left.
     """
+
+    #: The session protocol strips verdict keys before shipping (shards
+    #: always evaluate with ``key=False``), so computing them is pure
+    #: waste — see :attr:`MiningSession.wants_keys`.
+    wants_keys: bool = False
 
     def __init__(self, runtime: ShardedEngine) -> None:
         super().__init__()

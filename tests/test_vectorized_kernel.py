@@ -1,0 +1,356 @@
+"""Differential tests: the vectorized columnar kernel against its oracles.
+
+The numpy kernel (:mod:`repro.graphs.vectorized`) answers the same
+incremental support batches as the pure-python path in
+:meth:`MatchEngine.support_with_embeddings`, so these tests hold the two
+kernels — and the legacy dict-of-dicts matcher underneath both — to
+exact agreement on randomized multigraph corpora, plus the edge cases
+arrays make easy to get wrong: a capped anchor store, empty and
+singleton supports, tid spaces crossing the 64-bit word boundary, and
+columnar views outliving ``release_transactions`` / transaction
+mutation.
+
+What is *not* asserted: mid-scan abort timing, the partial tid lists of
+aborted (infrequent) tasks, anchor-store contents, or stats counters —
+the vectorized kernel schedules scans differently by design (see the
+module docstring of :mod:`repro.graphs.vectorized`); only verdicts and
+frequent-pattern supports are contractual.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.graphs.compact import CompactGraph, LabelTable  # noqa: E402
+from repro.graphs.engine import KERNELS, EmbeddingTask, MatchEngine, resolve_kernel  # noqa: E402
+from repro.graphs.isomorphism import legacy_has_embedding  # noqa: E402
+from repro.graphs.labeled_graph import LabeledGraph, LabeledMultiGraph  # noqa: E402
+from repro.mining.fsg.miner import FSGMiner  # noqa: E402
+from repro.runtime import bits_of, bits_to_buffer, tids_from_buffer, tids_of  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def multigraph_corpora(draw, max_transactions: int = 7):
+    """A small corpus of simplified random multigraphs."""
+    n_transactions = draw(st.integers(min_value=1, max_value=max_transactions))
+    corpus = []
+    for index in range(n_transactions):
+        n_vertices = draw(st.integers(min_value=2, max_value=5))
+        multigraph = LabeledMultiGraph(name=f"t{index}")
+        for v in range(n_vertices):
+            multigraph.add_vertex(f"v{v}", draw(st.sampled_from(["port", "yard"])))
+        n_lanes = draw(st.integers(min_value=1, max_value=8))
+        for _ in range(n_lanes):
+            source = draw(st.integers(min_value=0, max_value=n_vertices - 1))
+            target = draw(st.integers(min_value=0, max_value=n_vertices - 1))
+            if source == target:
+                continue
+            for _ in range(draw(st.integers(min_value=1, max_value=3))):
+                multigraph.add_edge(f"v{source}", f"v{target}", draw(st.sampled_from(["am", "pm"])))
+        corpus.append(multigraph.simplify())
+    return corpus
+
+
+def _chain(name: str, labels: list[str], edge_label: str = "go") -> LabeledGraph:
+    graph = LabeledGraph(name=name)
+    for index, label in enumerate(labels):
+        graph.add_vertex(f"v{index}", label)
+    for index in range(len(labels) - 1):
+        graph.add_edge(f"v{index}", f"v{index + 1}", edge_label)
+    return graph
+
+
+def _signature(result):
+    return sorted(
+        (
+            entry.pattern.n_vertices,
+            entry.pattern.n_edges,
+            tuple(sorted(entry.supporting_transactions)),
+        )
+        for entry in result.patterns
+    )
+
+
+def _mine(corpus, kernel: str, anchor_cap: int = 8, min_support: int = 2, max_edges: int = 3):
+    engine = MatchEngine(kernel=kernel, anchor_cap=anchor_cap)
+    miner = FSGMiner(
+        min_support=min_support,
+        max_edges=max_edges,
+        engine=engine,
+        use_embedding_store=True,
+    )
+    return miner.mine(corpus)
+
+
+# ----------------------------------------------------------------------
+# Kernel resolution
+# ----------------------------------------------------------------------
+def test_resolve_kernel_defaults_and_env(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    assert resolve_kernel(None) == "python"
+    monkeypatch.setenv("REPRO_KERNEL", "vectorized")
+    assert resolve_kernel(None) == "vectorized"
+    assert resolve_kernel("python") == "python"
+    with pytest.raises(ValueError):
+        resolve_kernel("simd")
+    assert set(KERNELS) == {"python", "vectorized"}
+
+
+def test_engine_records_resolved_kernel(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    assert MatchEngine().kernel == "python"
+    assert MatchEngine(kernel="vectorized").kernel == "vectorized"
+    monkeypatch.setenv("REPRO_KERNEL", "vectorized")
+    assert MatchEngine().kernel == "vectorized"
+    assert MatchEngine(kernel="python").kernel == "python"
+
+
+# ----------------------------------------------------------------------
+# Differential properties: vectorized == python == legacy
+# ----------------------------------------------------------------------
+@given(corpus=multigraph_corpora())
+@settings(max_examples=25, deadline=None)
+def test_mining_differential_on_random_multigraph_corpora(corpus):
+    """Full level-wise mining agrees across kernels and the legacy matcher."""
+    python_result = _mine(corpus, "python")
+    vectorized_result = _mine(corpus, "vectorized")
+    assert _signature(python_result) == _signature(vectorized_result)
+    for entry in vectorized_result.patterns:
+        oracle = frozenset(
+            tid
+            for tid, transaction in enumerate(corpus)
+            if legacy_has_embedding(entry.pattern, transaction)
+        )
+        assert entry.supporting_transactions == oracle
+
+
+@given(corpus=multigraph_corpora(), anchor_cap=st.integers(min_value=1, max_value=3))
+@settings(max_examples=15, deadline=None)
+def test_tiny_anchor_cap_never_changes_verdicts(corpus, anchor_cap):
+    """A capped anchor store forces fallback paths; output must not move."""
+    reference = _signature(_mine(corpus, "python", anchor_cap=8))
+    assert _signature(_mine(corpus, "vectorized", anchor_cap=anchor_cap)) == reference
+    assert _signature(_mine(corpus, "python", anchor_cap=anchor_cap)) == reference
+
+
+@given(corpus=multigraph_corpora(max_transactions=4))
+@settings(max_examples=15, deadline=None)
+def test_task_level_differential_with_abort(corpus):
+    """Raw support_with_embeddings batches agree task by task.
+
+    Without ``abort_below`` the tid lists must match exactly; with it,
+    only the frequent verdict (and the full list of frequent tasks) is
+    contractual, because the kernels abort at different scan points.
+    """
+    patterns = [
+        _chain("p1", ["port", "yard"]),
+        _chain("p2", ["port", "yard", "port"]),
+        _chain("p3", ["yard", "yard"], edge_label="pm"),
+    ]
+
+    def run(kernel, abort_below=None):
+        engine = MatchEngine(kernel=kernel)
+        tids = engine.add_transactions(corpus)
+        tasks = [
+            EmbeddingTask(pattern=pattern, tids=tids, uid=("p", index), abort_below=abort_below)
+            for index, pattern in enumerate(patterns)
+        ]
+        return engine.support_with_embeddings(tasks)
+
+    exact_python = run("python")
+    exact_vectorized = run("vectorized")
+    assert exact_python == exact_vectorized
+    for pattern, hits in zip(patterns, exact_vectorized):
+        oracle = [
+            tid
+            for tid, transaction in enumerate(corpus)
+            if legacy_has_embedding(pattern, transaction)
+        ]
+        assert hits == oracle
+
+    threshold = 2
+    aborted_python = run("python", abort_below=threshold)
+    aborted_vectorized = run("vectorized", abort_below=threshold)
+    for exact, from_python, from_vectorized in zip(
+        exact_python, aborted_python, aborted_vectorized
+    ):
+        if len(exact) >= threshold:
+            assert from_python == exact
+            assert from_vectorized == exact
+        else:
+            assert len(from_python) < threshold
+            assert len(from_vectorized) < threshold
+
+
+# ----------------------------------------------------------------------
+# Edge cases: empty / singleton supports, tids across word boundaries
+# ----------------------------------------------------------------------
+def test_empty_and_singleton_supports():
+    corpus = [_chain("only", ["port", "yard"])]
+    absent = _chain("absent", ["dock", "dock"])
+    present = _chain("present", ["port", "yard"])
+    for kernel in KERNELS:
+        engine = MatchEngine(kernel=kernel)
+        tids = engine.add_transactions(corpus)
+        hits = engine.support_with_embeddings(
+            [
+                EmbeddingTask(pattern=absent, tids=tids, uid="absent"),
+                EmbeddingTask(pattern=present, tids=tids, uid="present"),
+                EmbeddingTask(pattern=present, tids=[], uid="no-tids"),
+            ]
+        )
+        assert hits == [[], [0], []]
+
+
+def test_supports_crossing_word_boundaries():
+    """Corpora with > 64 transactions exercise multi-word tid spaces."""
+    rng = random.Random(64)
+    corpus = []
+    for index in range(70):
+        labels = ["port", "yard"] if rng.random() < 0.5 else ["yard", "port"]
+        corpus.append(_chain(f"t{index}", labels))
+    pattern = _chain("p", ["port", "yard"])
+    oracle = [
+        tid for tid, transaction in enumerate(corpus) if legacy_has_embedding(pattern, transaction)
+    ]
+    assert any(tid >= 64 for tid in oracle)
+    for kernel in KERNELS:
+        engine = MatchEngine(kernel=kernel)
+        tids = engine.add_transactions(corpus)
+        (hits,) = engine.support_with_embeddings(
+            [EmbeddingTask(pattern=pattern, tids=tids, uid="p")]
+        )
+        assert hits == oracle
+
+
+@given(tids=st.sets(st.integers(min_value=0, max_value=300), max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_bitset_buffer_roundtrip(tids):
+    """Flat little-endian buffers round-trip tid sets across word edges."""
+    ordered = sorted(tids)
+    bits = bits_of(ordered)
+    buffer = bits_to_buffer(bits)
+    assert tids_from_buffer(buffer) == ordered
+    assert tids_of(bits) == ordered
+
+
+# ----------------------------------------------------------------------
+# Invalidation: released transactions and mutated graphs
+# ----------------------------------------------------------------------
+def test_release_transactions_invalidates_columns():
+    corpus = [_chain(f"t{index}", ["port", "yard", "port"]) for index in range(4)]
+    pattern = _chain("p", ["port", "yard"])
+    for kernel in KERNELS:
+        engine = MatchEngine(kernel=kernel)
+        tids = engine.add_transactions(corpus)
+        (before,) = engine.support_with_embeddings(
+            [EmbeddingTask(pattern=pattern, tids=tids, uid="p")]
+        )
+        assert before == tids
+        engine.release_transactions([1, 2])
+        # A released tid raises; the survivors still answer correctly
+        # from rebuilt columnar state, not stale arrays.
+        with pytest.raises(KeyError):
+            engine.support_with_embeddings(
+                [EmbeddingTask(pattern=pattern, tids=[1], uid="p2")]
+            )
+        (after,) = engine.support_with_embeddings(
+            [EmbeddingTask(pattern=pattern, tids=[0, 3], uid="p3")]
+        )
+        assert after == [0, 3]
+
+
+def test_transaction_mutation_invalidates_columns():
+    """A version bump must refresh cached columns and stored anchors."""
+    for kernel in KERNELS:
+        engine = MatchEngine(kernel=kernel)
+        transaction = _chain("t0", ["port", "yard"])
+        tids = engine.add_transactions([transaction])
+        grown = _chain("p", ["port", "yard", "port"])
+        (before,) = engine.support_with_embeddings(
+            [EmbeddingTask(pattern=grown, tids=tids, uid="grown")]
+        )
+        assert before == []
+        transaction.add_vertex("v2", "port")
+        transaction.add_edge("v1", "v2", "go")
+        (after,) = engine.support_with_embeddings(
+            [EmbeddingTask(pattern=grown, tids=tids, uid="grown2")]
+        )
+        assert after == [0]
+
+
+# ----------------------------------------------------------------------
+# Incremental compact derivation
+# ----------------------------------------------------------------------
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50, deadline=None)
+def test_compact_extended_matches_from_labeled(seed):
+    """``CompactGraph.extended`` is field-for-field ``from_labeled``.
+
+    Candidate generation derives every child compact incrementally; the
+    columnar views and anchor enumeration inherit the adjacency tuple
+    order, so the equality must cover ordering, not just set content.
+    """
+    rng = random.Random(seed)
+    n_vertices = rng.randint(2, 6)
+    parent = LabeledGraph(name="parent")
+    for index in range(n_vertices):
+        parent.add_vertex(f"v{index}", f"L{rng.randrange(3)}")
+    for _ in range(rng.randint(1, 8)):
+        source, target = rng.sample(range(n_vertices), 2)
+        if not parent.has_edge(f"v{source}", f"v{target}"):
+            parent.add_edge(f"v{source}", f"v{target}", rng.randrange(3))
+
+    child = parent.copy(name="child")
+    if rng.random() < 0.5:
+        # Forward extension: edge to a brand-new appended vertex.
+        new_label = f"L{rng.randrange(3)}"
+        child.add_vertex("vnew", new_label)
+        anchor = rng.randrange(n_vertices)
+        if rng.random() < 0.5:
+            child.add_edge(f"v{anchor}", "vnew", rng.randrange(3))
+            source_pos, target_pos = anchor, n_vertices
+        else:
+            child.add_edge("vnew", f"v{anchor}", rng.randrange(3))
+            source_pos, target_pos = n_vertices, anchor
+        edge_label = child.edge_label(
+            "vnew" if source_pos == n_vertices else f"v{source_pos}",
+            "vnew" if target_pos == n_vertices else f"v{target_pos}",
+        )
+    else:
+        # Backward extension: edge between two existing vertices.
+        missing = [
+            (source, target)
+            for source in range(n_vertices)
+            for target in range(n_vertices)
+            if source != target and not parent.has_edge(f"v{source}", f"v{target}")
+        ]
+        if not missing:
+            return
+        source_pos, target_pos = rng.choice(missing)
+        edge_label = rng.randrange(3)
+        child.add_edge(f"v{source_pos}", f"v{target_pos}", edge_label)
+        new_label = None
+
+    table = LabelTable()
+    parent_compact = CompactGraph.from_labeled(parent, table)
+    derived = parent_compact.extended(source_pos, target_pos, edge_label, new_label, child)
+    rebuilt = CompactGraph.from_labeled(child, table)
+    assert derived.name == rebuilt.name
+    assert derived.n_vertices == rebuilt.n_vertices
+    assert derived.n_edges == rebuilt.n_edges
+    assert derived.vertex_labels == rebuilt.vertex_labels
+    assert derived.vertex_ids == rebuilt.vertex_ids
+    assert derived.out_adj == rebuilt.out_adj
+    assert derived.in_adj == rebuilt.in_adj
+    # Dict *order* matters: downstream iteration follows insertion order.
+    assert list(derived.edge_label_of.items()) == list(rebuilt.edge_label_of.items())
