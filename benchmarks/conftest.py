@@ -67,19 +67,30 @@ def bench_env() -> dict:
 
     Records what actually shaped the numbers — the resolved match-kernel
     backend, the numpy version backing it (``None`` when numpy is not
-    importable), the interpreter, and every ``REPRO_*`` environment
-    override in effect — so two benchmark artifacts can be compared
-    without guessing how they were produced.
+    importable), the interpreter, the machine (CPU count and, where the
+    platform exposes it, 1-minute load average at stamp time), the
+    resolved runtime knobs (worker count and sharded backend), and every
+    ``REPRO_*`` environment override in effect — so two benchmark
+    artifacts can be compared without guessing how they were produced.
     """
     import platform
 
     from repro.graphs import columns
-    from repro.runtime import resolve_kernel
+    from repro.runtime import resolve_backend, resolve_kernel, resolve_workers
+
+    try:
+        load_avg = round(os.getloadavg()[0], 2)
+    except (AttributeError, OSError):
+        load_avg = None
 
     return {
         "kernel": resolve_kernel(None),
         "numpy_version": None if columns.np is None else str(columns.np.__version__),
         "python_version": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "load_avg": load_avg,
+        "workers": resolve_workers(None),
+        "backend": resolve_backend(None),
         "env_overrides": {
             key: value
             for key, value in sorted(os.environ.items())

@@ -28,6 +28,17 @@ backend; the vectorized kernel changes wall-clock only, never output.
 (serial vs sharded runtimes vs the legacy matcher) and compares the
 outcome digests against the golden file; it exits non-zero on any
 divergence, which is what the CI scenario-matrix job checks.
+
+Every mining-adjacent command also takes ``--trace PATH`` (or the
+``REPRO_TRACE`` environment variable): the run executes under an active
+:mod:`repro.obs` tracer and writes the merged trace — main-timeline
+spans, per-shard worker spans, and the metrics registry — as JSONL when
+it finishes.  Tracing is observational only; mining output and scenario
+digests are byte-identical with it on or off.  The ``trace`` command
+group works with the files afterwards::
+
+    python -m repro.cli trace summarize trace.jsonl
+    python -m repro.cli trace export trace.jsonl --out trace_chrome.json
 """
 
 from __future__ import annotations
@@ -41,7 +52,8 @@ from typing import Sequence
 from repro.core.config import ExperimentConfig
 from repro.core.experiments import ALL_EXPERIMENTS
 from repro.core.results import ExperimentReport
-from repro.graphs.engine import KERNEL_ENV, KERNELS
+from repro.graphs.engine import KERNEL_ENV, KERNELS, resolve_kernel
+from repro.obs.tracer import TRACE_ENV
 from repro.reporting.comparison import agreement_summary, render_comparison
 from repro.runtime.base import BACKENDS
 
@@ -118,8 +130,36 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="skip the legacy-matcher support oracle")
     scenario_verify.add_argument("--report", type=Path, default=None,
                                  help="also write the per-scenario digests to this JSON file")
+    for scenario_parser in (scenario_run, scenario_verify):
+        _add_trace_option(scenario_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect and convert recorded trace files"
+    )
+    trace_commands = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_commands.add_parser(
+        "summarize",
+        help="print the run report (level x shard skew, top spans, metrics) of a JSONL trace",
+    )
+    trace_summarize.add_argument("path", type=Path, help="JSONL trace written by --trace")
+    trace_summarize.add_argument("--top", type=int, default=10,
+                                 help="how many spans the duration ranking shows (default 10)")
+    trace_export = trace_commands.add_parser(
+        "export",
+        help="convert a JSONL trace to Chrome Trace Event Format (chrome://tracing, Perfetto)",
+    )
+    trace_export.add_argument("path", type=Path, help="JSONL trace written by --trace")
+    trace_export.add_argument("--out", type=Path, required=True,
+                              help="output path for the Chrome-format JSON")
 
     return parser
+
+
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="record an observability trace of the run and write it "
+                             "to this path as JSONL (default: $REPRO_TRACE or off); "
+                             "never changes mining output")
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -139,6 +179,7 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                              "(default: $REPRO_KERNEL or 'python')")
     parser.add_argument("--output", type=Path, default=None,
                         help="also append the rendered comparisons to this file")
+    _add_trace_option(parser)
 
 
 def _render(report: ExperimentReport) -> str:
@@ -283,6 +324,15 @@ def _scenarios_verify(args, stream) -> int:
             json.dumps(report_entries, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
         print(f"wrote {args.report}", file=stream)
+        from repro.obs import TraceData, get_tracer, render_report
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            # A traced verify also prints the live run report (level x
+            # shard skew across every differential run, top spans,
+            # metric highlights) alongside the digest table.
+            print("", file=stream)
+            print(render_report(TraceData.from_tracer(tracer)), file=stream)
     for failure in result.failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if result.failures:
@@ -304,6 +354,24 @@ def _run_scenarios_command(args, stream) -> int:
     return _scenarios_verify(args, stream)
 
 
+def _run_trace_command(args, stream) -> int:
+    from repro.obs import read_jsonl, render_report, write_chrome_trace
+
+    if not args.path.exists():
+        print(f"no such trace file: {args.path}", file=sys.stderr)
+        return 2
+    data = read_jsonl(args.path)
+    if args.trace_command == "summarize":
+        print(render_report(data, top=args.top), file=stream)
+        return 0
+    written = write_chrome_trace(args.out, data)
+    print(
+        f"wrote {written} ({len(data.spans)} spans; open in chrome://tracing or Perfetto)",
+        file=stream,
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, stream=None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -315,6 +383,9 @@ def main(argv: Sequence[str] | None = None, stream=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.command == "trace":
+        return _run_trace_command(args, stream)
+
     kernel = getattr(args, "kernel", None)
     saved_kernel = os.environ.get(KERNEL_ENV)
     if kernel:
@@ -322,6 +393,25 @@ def main(argv: Sequence[str] | None = None, stream=None) -> int:
         # directly, so the environment variable is the carrier: one flag
         # switches every MatchEngine the run creates.
         os.environ[KERNEL_ENV] = kernel
+
+    # --trace / $REPRO_TRACE: run under an active tracer and write the
+    # merged trace (main + shard-worker spans + metrics) when done.  The
+    # wall clock is the tracer clock so every worker timeline — aligned
+    # to the parent's wall anchor — lands on one time axis.
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        raw_trace = os.environ.get(TRACE_ENV, "").strip()
+        if raw_trace:
+            trace_path = Path(raw_trace)
+    tracer = None
+    previous_tracer = None
+    if trace_path is not None and args.command in ("run", "all", "scenarios"):
+        import time
+
+        from repro.obs import Tracer, set_tracer
+
+        tracer = Tracer(worker="main", clock=time.time)
+        previous_tracer = set_tracer(tracer)
     try:
         if args.command == "list":
             for experiment_id in ALL_EXPERIMENTS:
@@ -340,6 +430,22 @@ def main(argv: Sequence[str] | None = None, stream=None) -> int:
                 os.environ.pop(KERNEL_ENV, None)
             else:
                 os.environ[KERNEL_ENV] = saved_kernel
+        if tracer is not None:
+            from repro.obs import set_tracer, write_jsonl
+            from repro.runtime import resolve_backend, resolve_workers
+
+            set_tracer(previous_tracer)
+            meta = {
+                "command": args.command,
+                "cpu_count": os.cpu_count(),
+                "workers": resolve_workers(getattr(args, "workers", None)),
+                "backend": resolve_backend(getattr(args, "backend", None)),
+                "kernel": resolve_kernel(None),
+            }
+            write_jsonl(trace_path, tracer, meta=meta)
+            # stderr on purpose: traced and untraced runs must produce
+            # byte-identical stdout (the CI digest gate diffs them).
+            print(f"wrote trace to {trace_path}", file=sys.stderr)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse handles this
     return 2  # pragma: no cover
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.datasets.binning import BinningScheme, default_binning_scheme
 from repro.datasets.generator import GeneratorConfig, TransportationDataGenerator
 from repro.datasets.schema import TransactionDataset
+from repro.obs.tracer import get_tracer
 from repro.runtime import resolve_backend, resolve_kernel, resolve_workers
 
 
@@ -75,6 +76,10 @@ class ExperimentConfig:
     def dataset(self) -> TransactionDataset:
         """Generate (and cache) the synthetic dataset at the configured scale."""
         if self._dataset_cache is None:
-            generator = TransportationDataGenerator(GeneratorConfig(scale=self.scale, seed=self.seed))
-            self._dataset_cache = generator.generate()
+            # Generation is a real slice of every experiment's wall clock;
+            # a traced run shows it as its own span instead of letting it
+            # hide inside the first experiment's timing.
+            with get_tracer().span("dataset.generate", scale=self.scale, seed=self.seed):
+                generator = TransportationDataGenerator(GeneratorConfig(scale=self.scale, seed=self.seed))
+                self._dataset_cache = generator.generate()
         return self._dataset_cache

@@ -35,6 +35,7 @@ from repro.mining.transactional import (
     feature_table_to_item_transactions,
     numeric_matrix,
 )
+from repro.obs.tracer import get_tracer
 from repro.partitioning.split_graph import PartitionStrategy
 from repro.runtime import MiningRuntime, SerialRuntime, create_runtime, resolve_workers
 from repro.partitioning.structural import (
@@ -125,7 +126,10 @@ class StructuralMiningPipeline:
             self.runtime, self.workers, self.backend, engine, kernel=self.kernel
         )
         try:
-            mining = mine_single_graph(graph, config, engine=engine, runtime=runtime)
+            with get_tracer().span(
+                "pipeline.structural", k=self.k, repetitions=self.repetitions
+            ):
+                mining = mine_single_graph(graph, config, engine=engine, runtime=runtime)
             engine_stats = runtime.stats()
         finally:
             if created:
@@ -199,7 +203,10 @@ class TemporalMiningPipeline:
                 engine=engine,
                 runtime=runtime,
             )
-            mining = miner.mine(graphs_of(prepared)) if prepared else FSGResult()
+            with get_tracer().span(
+                "pipeline.temporal", transactions=len(prepared)
+            ):
+                mining = miner.mine(graphs_of(prepared)) if prepared else FSGResult()
             engine_stats = runtime.stats()
         finally:
             if created:

@@ -33,7 +33,14 @@ from repro.mining.fsg.candidates import (
 )
 from repro.mining.fsg.exceptions import MemoryBudgetExceeded
 from repro.mining.fsg.results import FSGResult, FrequentSubgraph
-from repro.runtime.base import LevelRequest, MiningRuntime, MiningSession, SerialRuntime
+from repro.obs.tracer import get_tracer
+from repro.runtime.base import (
+    LevelRequest,
+    MiningRuntime,
+    MiningSession,
+    SerialRuntime,
+    zero_telemetry,
+)
 from repro.runtime.bitsets import (
     bits_of,
     is_contiguous,
@@ -125,6 +132,11 @@ class FSGMiner:
     #: ``None`` to consult ``REPRO_KERNEL``.  Ignored when a caller
     #: supplies its own engine or runtime (those already chose).
     kernel: str | None = None
+    #: Tracer receiving this run's spans and metrics; ``None`` (default)
+    #: uses the process-global active tracer — the no-op singleton unless
+    #: tracing was turned on (``--trace`` / ``REPRO_TRACE``), so the
+    #: untraced path costs nothing.  See :mod:`repro.obs`.
+    tracer: object | None = None
 
     def mine(self, transactions: Sequence[LabeledGraph]) -> FSGResult:
         """Mine all frequent connected subgraphs from *transactions*."""
@@ -132,16 +144,43 @@ class FSGMiner:
         support_threshold = _resolve_min_support(self.min_support, n_transactions)
         engine = self.engine if self.engine is not None else MatchEngine(kernel=self.kernel)
         runtime = self.runtime if self.runtime is not None else SerialRuntime(engine=engine)
-        runtime_tids = runtime.add_transactions(transactions)
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        # The parent engine's counter delta across this run covers
+        # canonicalisation/dedup work always, and — under the serial
+        # runtime, where runtime and parent engine coincide — the whole
+        # match workload; shard engines ship their own deltas piggybacked
+        # on replies (see ShardWorker).
+        stats_before = engine.stats_snapshot() if tracer.enabled else None
+        mine_span = tracer.span(
+            "fsg.mine", n_transactions=n_transactions, min_support=support_threshold
+        )
         try:
-            return self._mine_levels(
-                transactions, support_threshold, engine, runtime, runtime_tids, n_transactions
-            )
+            runtime_tids = runtime.add_transactions(transactions)
+            try:
+                result = self._mine_levels(
+                    transactions,
+                    support_threshold,
+                    engine,
+                    runtime,
+                    runtime_tids,
+                    n_transactions,
+                    tracer,
+                )
+            finally:
+                # A shared runtime keeps serving after this run; drop this run's
+                # transaction references so it does not retain every graph ever
+                # mined (fresh tids per run make cross-run verdict reuse moot).
+                runtime.release_transactions(runtime_tids)
+            mine_span.set(levels=result.levels_completed, patterns=len(result.patterns))
         finally:
-            # A shared runtime keeps serving after this run; drop this run's
-            # transaction references so it does not retain every graph ever
-            # mined (fresh tids per run make cross-run verdict reuse moot).
-            runtime.release_transactions(runtime_tids)
+            mine_span.finish()
+        if stats_before is not None:
+            after = engine.stats_snapshot()
+            tracer.metrics.absorb(
+                {key: after[key] - stats_before.get(key, 0) for key in after},
+                worker="main",
+            )
+        return result
 
     def _mine_levels(
         self,
@@ -151,6 +190,7 @@ class FSGMiner:
         runtime: MiningRuntime,
         runtime_tids: Sequence[int],
         n_transactions: int,
+        tracer,
     ) -> FSGResult:
         result = FSGResult(
             n_transactions=n_transactions,
@@ -172,6 +212,10 @@ class FSGMiner:
         session: MiningSession | None = runtime.open_session() if use_store else None
 
         level_started = time.perf_counter()
+        # Levels straddle control flow a ``with`` block cannot (the prime
+        # call below lives inside the try), so level spans use the
+        # explicit finish() form.
+        level_span = tracer.span("fsg.level", level=1)
         triples_with_tids = frequent_single_edges(transactions, support_threshold)
         frequent_triples = list(triples_with_tids)
         level_patterns: list[tuple[Candidate, frozenset[int]]] = []
@@ -203,14 +247,15 @@ class FSGMiner:
                     )
                 )
             result.level_seconds[1] = time.perf_counter() - level_started
-            if session is not None:
-                result.level_telemetry[1] = session.take_telemetry()
+            self._level_done(result, tracer, session, level=1)
+            level_span.finish(survivors=len(level_patterns))
 
             level = 1
             while level_patterns:
                 if self.max_edges is not None and level >= self.max_edges:
                     break
                 level_started = time.perf_counter()
+                level_span = tracer.span("fsg.level", level=level + 1)
                 parents = [
                     Candidate(
                         pattern=candidate.pattern,
@@ -221,17 +266,24 @@ class FSGMiner:
                     )
                     for candidate, tids in level_patterns
                 ]
+                candidates_span = tracer.span("fsg.candidates", level=level + 1)
                 candidates = generate_candidates(parents, frequent_triples, engine=engine)
+                candidates_span.finish(candidates=len(candidates))
                 result.candidates_generated += len(candidates)
                 if self.memory_budget is not None and len(candidates) > self.memory_budget:
                     if self.abort_on_budget:
+                        level_span.finish(aborted=True)
                         raise MemoryBudgetExceeded(level + 1, len(candidates), self.memory_budget)
                     result.aborted = True
                     result.abort_reason = (
                         f"candidate set at level {level + 1} ({len(candidates)} patterns) "
                         f"exceeded the memory budget of {self.memory_budget}"
                     )
+                    level_span.finish(aborted=True)
                     break
+                support_span = tracer.span(
+                    "fsg.support", level=level + 1, candidates=len(candidates)
+                )
                 if use_store:
                     for candidate in candidates:
                         candidate.uid = next(uids)
@@ -252,12 +304,14 @@ class FSGMiner:
                     live_uids = sorted(surviving_uids)
                 else:
                     level_patterns = self._prune_level(
-                        candidates, support_threshold, engine, runtime, runtime_tids
+                        candidates, support_threshold, engine, runtime, runtime_tids,
+                        result=result, level=level + 1,
                     )
+                support_span.finish(survivors=len(level_patterns))
                 level += 1
                 result.level_seconds[level] = time.perf_counter() - level_started
-                if session is not None:
-                    result.level_telemetry[level] = session.take_telemetry()
+                self._level_done(result, tracer, session, level=level)
+                level_span.finish(survivors=len(level_patterns))
                 if level_patterns:
                     self._record_level(result, level_patterns, level=level)
                     result.levels_completed = level
@@ -275,6 +329,8 @@ class FSGMiner:
         engine: MatchEngine,
         runtime: MiningRuntime,
         runtime_tids: Sequence[int],
+        result: FSGResult | None = None,
+        level: int | None = None,
     ) -> list[tuple[Candidate, frozenset[int]]]:
         """Evaluate a whole level's candidates through the runtime.
 
@@ -284,7 +340,14 @@ class FSGMiner:
         translated back, so callers only ever see local ids.  Candidate
         canonical codes — memoized by deduplication an instant ago — ride
         along as verdict-cache keys so shards never recanonicalise.
+
+        When *result*/*level* are given, a session-telemetry record
+        (wire bytes, planning seconds, patterns shipped) is filed for the
+        level, measured with the same rulers as the embedding-store path
+        — so ``use_embedding_store=False`` A/B runs report through the
+        very telemetry they are compared against.
         """
+        planning_started = time.perf_counter()
         local_of = {global_tid: local for local, global_tid in enumerate(runtime_tids)}
         # A candidate's support is bounded by its parent TID list, so a
         # list already below threshold can never survive — don't even ship
@@ -304,15 +367,57 @@ class FSGMiner:
                 pattern_keys.append(engine.canonical_code(candidate.pattern))
             except CanonicalizationError:
                 pattern_keys.append(False)
+        planning_seconds = time.perf_counter() - planning_started
+        wire_before = getattr(runtime, "wire_bytes_shipped", 0)
         supports = runtime.batch_support(
             [candidate.pattern for candidate in viable], tid_lists, pattern_keys
         )
+        if result is not None and level is not None:
+            counters = zero_telemetry()
+            counters["planning_seconds"] = planning_seconds
+            counters["wire_bytes"] = (
+                getattr(runtime, "wire_bytes_shipped", 0) - wire_before
+            )
+            # The batch protocol always ships whole patterns; one count
+            # per shipped candidate (a sharded runtime posts each only to
+            # the shards its tid list touches, but the per-(request,
+            # shard) breakdown is not visible parent-side here).
+            counters["patterns_full"] = len(viable)
+            result.level_telemetry[level] = counters
+            drain = getattr(runtime, "drain_worker_spans", None)
+            if drain is not None:
+                drain(level=level)
         surviving: list[tuple[Candidate, frozenset[int]]] = []
         for candidate, supported in zip(viable, supports):
             if len(supported) >= support_threshold:
                 tids = frozenset(local_of[global_tid] for global_tid in supported)
                 surviving.append((candidate, tids))
         return surviving
+
+    def _level_done(
+        self,
+        result: FSGResult,
+        tracer,
+        session: MiningSession | None,
+        level: int,
+    ) -> None:
+        """Per-level telemetry bookkeeping shared by both support paths.
+
+        Files the level's session telemetry on the result (the sessionless
+        batch path filed its own in :meth:`_prune_level`; level 1 without
+        a session never touches the runtime, so it gets explicit zeros to
+        keep the per-level key set identical across paths) and mirrors
+        the counters into the tracer's metrics registry labeled by level.
+        """
+        if session is not None:
+            result.level_telemetry[level] = session.take_telemetry()
+        elif level not in result.level_telemetry:
+            result.level_telemetry[level] = zero_telemetry()
+        if tracer.enabled:
+            tracer.metrics.absorb(result.level_telemetry[level], level=str(level))
+            tracer.metrics.gauge(
+                "fsg.level_seconds", result.level_seconds[level], level=str(level)
+            )
 
     def _level_requests(
         self,

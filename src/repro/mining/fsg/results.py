@@ -62,8 +62,9 @@ class FSGResult:
     #: Mining-session counters per level (wire bytes shipped, planning
     #: seconds, full-vs-delta pattern shipments, store hits, evictions —
     #: see :data:`repro.runtime.base.SESSION_TELEMETRY_KEYS`), keyed like
-    #: :attr:`level_seconds`.  Populated only on the embedding-store
-    #: path; purely observational, never part of any digest.
+    #: :attr:`level_seconds`.  The embedding-store path fills every key;
+    #: store-less runs fill the wire/planning counters and zero the rest.
+    #: Purely observational, never part of any digest.
     level_telemetry: dict[int, dict[str, float]] = field(
         default_factory=dict, compare=False
     )

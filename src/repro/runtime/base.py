@@ -212,6 +212,9 @@ class DelegatingSession(MiningSession):
     def __init__(self, runtime: "MiningRuntime") -> None:
         super().__init__()
         self._runtime = runtime
+        # Levels served so far; the miner primes level 1 first, so call
+        # N is mining level N — used to stamp gathered worker spans.
+        self._level = 0
 
     @property
     def wants_keys(self) -> bool:
@@ -230,6 +233,7 @@ class DelegatingSession(MiningSession):
         requests: Sequence[LevelRequest],
         min_support: int | None = None,
     ) -> list[int]:
+        self._level += 1
         wire_before = self._wire_counter()
         posted_before = self._posted_counter()
         supports = self._runtime.batch_support_level(requests, min_support)
@@ -243,6 +247,11 @@ class DelegatingSession(MiningSession):
             # One engine, one "shard": per-(request, shard) degenerates
             # to one shipment per request.
             self._telemetry["patterns_full"] += len(requests)
+        # Sharded runtimes buffer the worker spans a tracing run gathers;
+        # stamp them with this level (no-op attribute on SerialRuntime).
+        drain = getattr(self._runtime, "drain_worker_spans", None)
+        if drain is not None:
+            drain(level=self._level)
         return supports
 
     def evict(self, uids: Iterable[object]) -> None:

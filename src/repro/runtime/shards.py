@@ -44,6 +44,7 @@ from typing import Any, Iterable, Sequence
 from repro.graphs.compact import CompactGraph, LabelTable
 from repro.graphs.engine import EmbeddingTask, MatchEngine, resolve_kernel
 from repro.graphs.labeled_graph import LabeledGraph
+from repro.obs.tracer import NULL_TRACER, SpanRecord, Tracer, get_tracer
 from repro.runtime.base import (
     DelegatingSession,
     LevelRequest,
@@ -58,6 +59,16 @@ from repro.runtime.pool import make_pool
 
 #: Session protocols understood by :class:`ShardedEngine`.
 SESSION_PROTOCOLS = ("delta", "full")
+
+#: Reply-wrapper tag a tracing :class:`ShardWorker` uses to piggyback its
+#: finished span and metric buffers on the normal reply — no extra round
+#: trips, and the payload inside is byte-identical to the untraced reply.
+_OBS_REPLY = "__obs__"
+
+#: Worker span names that time per-level messages; the parent stamps
+#: these with the mining level when it drains them (other worker spans —
+#: add/release/stats — are level-free and left unstamped).
+_LEVELED_WORKER_SPANS = frozenset({"shard.slevel", "shard.level", "shard.batch"})
 
 #: Default bound on resident patterns per shard store.  Mining keeps at
 #: most ~two levels' candidates alive (the miner evicts each level as
@@ -110,6 +121,14 @@ class ShardWorker:
     ``("stats",)``
         Reply with the shard engine's counter snapshot merged with this
         worker's session-protocol counters.
+    ``("trace", shard, wall_anchor)``
+        Start this worker's tracer (see :mod:`repro.obs`): *shard* names
+        the timeline (``shard0``...), *wall_anchor* aligns the worker
+        clock to the parent's.  Ack with ``None``.  From then on every
+        message is timed by a span and every reply is wrapped as
+        ``("__obs__", reply, spans, counter_delta)`` — the parent
+        unwraps in ``_gather``, so tracing changes reply framing, never
+        reply content.
     """
 
     def __init__(
@@ -136,6 +155,13 @@ class ShardWorker:
             "patterns_shipped_delta": 0,
             "session_store_evictions": 0,
         }
+        #: This shard's tracer, installed by a ``("trace", ...)`` message;
+        #: ``None`` (the default) keeps the untraced fast path — one
+        #: attribute check per message, nothing wrapped, nothing shipped.
+        self.tracer: Tracer | None = None
+        #: Counter snapshot already shipped to the parent; the next obs
+        #: reply ships only the delta past this point.
+        self._obs_shipped: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Session store bookkeeping
@@ -217,8 +243,63 @@ class ShardWorker:
             counters["session_store_evictions"] += len(evicted)
         return results, evicted, store_hits
 
+    def _enable_tracing(self, shard: int, wall_anchor: float) -> None:
+        """Start this shard's tracer on a parent-aligned clock.
+
+        The parent ships its own wall-clock reading with the enable
+        message; anchoring ``perf_counter`` to it puts every worker span
+        on (approximately) the parent's time axis, so the merged trace
+        renders as parallel swimlanes without post-hoc skew correction.
+        The enable message is the offset's upper bound on error: one
+        pipe latency, microseconds inline and well under a millisecond
+        across processes.
+        """
+        offset = wall_anchor - time.perf_counter()
+        self.tracer = Tracer(
+            worker=f"shard{shard}",
+            clock=lambda: time.perf_counter() + offset,
+        )
+        # Everything counted before tracing began predates the trace;
+        # baseline it away so shipped deltas cover the traced window only.
+        self._obs_shipped = {**self.engine.stats_snapshot(), **self.counters}
+
+    def _span_attrs(self, op: str, message: tuple) -> dict:
+        """Cheap size attributes for the per-message worker span."""
+        if op == "slevel":
+            return {"patterns": len(message[2]), "evictions": len(message[1])}
+        if op in ("level", "batch", "add"):
+            return {"patterns": len(message[1])}
+        return {}
+
     def __call__(self, message: tuple):
+        tracer = self.tracer
         op = message[0]
+        if op == "trace":
+            self._enable_tracing(message[1], message[2])
+            return None
+        if tracer is None:
+            return self._handle(message, op)
+        with tracer.span(f"shard.{op}", **self._span_attrs(op, message)):
+            reply = self._handle(message, op)
+        # Piggyback the finished spans and the counter delta on the reply
+        # the parent is already waiting for; the wrapped payload is the
+        # untraced reply, byte for byte.
+        snapshot = {**self.engine.stats_snapshot(), **self.counters}
+        shipped = self._obs_shipped
+        delta = {
+            key: value - shipped.get(key, 0)
+            for key, value in snapshot.items()
+            if value != shipped.get(key, 0)
+        }
+        self._obs_shipped = snapshot
+        return (
+            _OBS_REPLY,
+            reply,
+            [record.to_wire() for record in tracer.take_spans()],
+            delta,
+        )
+
+    def _handle(self, message: tuple, op: str):
         if op == "labels":
             self.table.extend(message[1])
             return None
@@ -332,6 +413,57 @@ class ShardedEngine(MiningRuntime):
         self._released: set[int] = set()
         self._next_global = 0
         self._closed = False
+        #: Observability state: the tracer worker spans and shard metric
+        #: deltas merge into, and the buffer of worker spans gathered but
+        #: not yet level-stamped (see :meth:`drain_worker_spans`).
+        self._tracer = NULL_TRACER
+        self._worker_spans: list[SpanRecord] = []
+        active = get_tracer()
+        if active.enabled:
+            self.enable_tracing(active)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def enable_tracing(self, tracer) -> None:
+        """Start per-shard tracing, merging worker output into *tracer*.
+
+        Each shard gets its own worker-side :class:`~repro.obs.tracer.Tracer`
+        (named ``shard0``... and clock-aligned to the parent); finished
+        spans and engine/session counter deltas ship piggybacked on the
+        replies the parent already gathers.  Called automatically at
+        construction when a process-global tracer is active.
+        """
+        self._tracer = tracer
+        anchor = time.time()
+        pending = self._scatter(
+            [(shard, ("trace", shard, anchor)) for shard in range(self.n_shards)]
+        )
+        self._gather(pending)
+
+    def _absorb_worker_obs(self, shard: int, spans, delta) -> None:
+        self._worker_spans.extend(SpanRecord.from_wire(wire) for wire in spans)
+        if delta:
+            self._tracer.metrics.absorb(delta, shard=str(shard))
+
+    def drain_worker_spans(self, level: int | None = None) -> None:
+        """Forward gathered worker spans to the tracer, stamping *level*.
+
+        Workers cannot know which mining level a message served, but the
+        caller that just gathered a level does — sessions (and the batch
+        miner path) call this right after each level so per-level shard
+        timings line up in the merged trace.  Leveled span names only;
+        add/stats/release spans pass through unstamped.
+        """
+        spans = self._worker_spans
+        if not spans:
+            return
+        self._worker_spans = []
+        if level is not None:
+            for record in spans:
+                if record.name in _LEVELED_WORKER_SPANS:
+                    record.attrs.setdefault("level", level)
+        self._tracer.extend(spans)
 
     # ------------------------------------------------------------------
     # Placement
@@ -422,10 +554,19 @@ class ShardedEngine(MiningRuntime):
         for shard, count in pending:
             for _ in range(count):
                 try:
-                    replies[shard] = self._pool.recv(shard)
+                    reply = self._pool.recv(shard)
                 except BaseException as error:  # noqa: BLE001 - re-raised below
                     if first_error is None:
                         first_error = error
+                else:
+                    if (
+                        type(reply) is tuple
+                        and len(reply) == 4
+                        and reply[0] == _OBS_REPLY
+                    ):
+                        _, reply, spans, delta = reply
+                        self._absorb_worker_obs(shard, spans, delta)
+                    replies[shard] = reply
         if first_error is not None:
             raise first_error
         return replies
@@ -578,6 +719,12 @@ class ShardedEngine(MiningRuntime):
         if getattr(self, "_closed", True):
             return
         self._closed = True
+        # Flush any worker spans gathered after the last level drain
+        # (close-time evictions, stats calls) before the pool goes away.
+        try:
+            self.drain_worker_spans()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
         pool = getattr(self, "_pool", None)
         if pool is not None:
             pool.close()
@@ -622,6 +769,9 @@ class ShardedSession(MiningSession):
         #: anchors are still shard-resident, so a later miner eviction
         #: must still reach that shard.
         self._evicted_anchors: list[set] = [set() for _ in range(runtime.n_shards)]
+        #: Levels served so far; the miner primes level 1 first, so call
+        #: N is mining level N — what worker spans get stamped with.
+        self._level = 0
         self._closed = False
 
     def _hit_positions(self, shard: int, uid: object) -> dict[int, int] | None:
@@ -650,6 +800,7 @@ class ShardedSession(MiningSession):
             raise RuntimeError("mining session is closed")
         runtime = self._runtime
         telemetry = self._telemetry
+        self._level += 1
         planning_started = time.perf_counter()
         batches = runtime.planner.plan_session_level(
             requests,
@@ -703,6 +854,7 @@ class ShardedSession(MiningSession):
             # Shard-observed reconstructions: equals this batch's delta
             # count whenever residency model and shard store agree.
             telemetry["store_hits"] += store_hits
+        runtime.drain_worker_spans(level=self._level)
         return runtime.planner.merge_level(
             len(requests), batches, results, runtime.to_global
         )
@@ -751,3 +903,4 @@ class ShardedSession(MiningSession):
         self._hit_index.clear()
         if messages and not getattr(runtime, "_closed", True):
             runtime._gather(runtime._scatter(messages))
+            runtime.drain_worker_spans()

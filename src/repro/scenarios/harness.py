@@ -34,6 +34,7 @@ from repro.graphs.isomorphism import legacy_has_embedding
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.mining.fsg.miner import FSGMiner
 from repro.mining.fsg.results import FSGResult
+from repro.obs.tracer import get_tracer
 from repro.mining.subdue.evaluation import EvaluationPrinciple
 from repro.mining.subdue.miner import SubdueMiner
 from repro.partitioning.structural import StructuralMiningConfig, mine_single_graph
@@ -180,8 +181,10 @@ def run_scenario(
     params = scenario.params
     built = data if data is not None else scenario.build()
     engine = MatchEngine()
+    tracer = get_tracer()
 
-    fsg, structural = _mine_runtime_sections(scenario, built, engine, runtime)
+    with tracer.span("scenario.mine", scenario=scenario.name):
+        fsg, structural = _mine_runtime_sections(scenario, built, engine, runtime)
 
     subdue = SubdueMiner(
         beam_width=params.subdue_beam,
@@ -397,8 +400,10 @@ def differential_check(
     (by default) the legacy-matcher oracle also run against the
     reference.
     """
+    tracer = get_tracer()
     data = scenario.build()
-    reference = run_scenario(scenario, data=data)
+    with tracer.span("scenario.run", scenario=scenario.name, runtime="serial"):
+        reference = run_scenario(scenario, data=data)
     report = DifferentialReport(
         scenario=scenario.name, digest=reference.digest, payload=reference.payload
     )
@@ -420,7 +425,12 @@ def differential_check(
             runtime = ShardedEngine(shards=shards, backend=backend)
             engine = MatchEngine()
             try:
-                fsg, structural = _mine_runtime_sections(scenario, data, engine, runtime)
+                with tracer.span(
+                    "scenario.run", scenario=scenario.name, runtime=label
+                ):
+                    fsg, structural = _mine_runtime_sections(
+                        scenario, data, engine, runtime
+                    )
                 report.runtime_stats[label] = runtime.stats()
             finally:
                 runtime.close()
