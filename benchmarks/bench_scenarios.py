@@ -1,0 +1,136 @@
+"""Benchmark: wall-clock cost of the scenario differential corpus.
+
+Runs each registered scenario through the full engine suite exactly the
+way ``repro scenarios run`` does — one timed ``build()`` and one timed
+:func:`~repro.scenarios.harness.run_scenario` per name — and verifies
+every digest against the pinned table in ``tests/golden/scenarios.json``
+so a timing can never be reported for a run that silently mined the
+wrong output.  A streaming row additionally times
+:func:`~repro.scenarios.streaming.sampled_digest` over a bounded prefix
+of the 100k corpus.
+
+Every row embeds its own environment stamp via
+``bench_env(scenario=..., corpus_size=...)``: scenario-driven numbers
+are only comparable between runs of the same workload shape, so the
+workload identity travels with the measurement.
+
+Results land in ``BENCH_scenarios.json``.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py [name ...]
+
+With no names every registered scenario is measured.  Environment knobs:
+``REPRO_BENCH_STREAM_TRANSACTIONS`` (default 5000) sizes the streaming
+row; set it to 0 to skip streaming entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import bench_env  # noqa: E402
+
+from repro.scenarios import (  # noqa: E402
+    StreamingMobilityCorpus,
+    get_scenario,
+    run_scenario,
+    sampled_digest,
+    scenario_names,
+)
+
+GOLDEN = Path(__file__).resolve().parent.parent / "tests" / "golden" / "scenarios.json"
+DEFAULT_STREAM_TRANSACTIONS = 5000
+
+
+def measure_scenario(name: str) -> dict:
+    """Build and mine one scenario, returning its timed, stamped row."""
+    scenario = get_scenario(name)
+    start = time.perf_counter()
+    data = scenario.build()
+    build_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    outcome = run_scenario(scenario, data=data)
+    mine_seconds = time.perf_counter() - start
+    corpus_size = len(data.transactions)
+    return {
+        "env": bench_env(scenario=name, corpus_size=corpus_size),
+        "n_transactions": corpus_size,
+        "digest": outcome.digest,
+        "seconds": {
+            "build": round(build_seconds, 4),
+            "mine": round(mine_seconds, 4),
+        },
+    }
+
+
+def measure_streaming(n_transactions: int) -> dict:
+    """Time the sampled digest over a bounded streaming prefix."""
+    corpus = StreamingMobilityCorpus(n_transactions=n_transactions)
+    start = time.perf_counter()
+    digest = sampled_digest(corpus)
+    elapsed = time.perf_counter() - start
+    return {
+        "env": bench_env(scenario="streaming-mobility", corpus_size=n_transactions),
+        "n_transactions": n_transactions,
+        "digest": digest,
+        "seconds": {"sampled_digest": round(elapsed, 4)},
+    }
+
+
+def main() -> None:
+    names = sys.argv[1:] or scenario_names()
+    unknown = sorted(set(names) - set(scenario_names()))
+    if unknown:
+        print(
+            f"ERROR: unknown scenario(s): {', '.join(unknown)}; "
+            f"available: {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+    golden = json.loads(GOLDEN.read_text(encoding="utf-8")) if GOLDEN.exists() else {}
+    rows: dict[str, dict] = {}
+    mismatches: list[str] = []
+    for name in names:
+        row = measure_scenario(name)
+        rows[name] = row
+        pinned = golden.get(name, {}).get("digest")
+        status = "ok" if pinned in (None, row["digest"]) else "DIGEST MISMATCH"
+        if status != "ok":
+            mismatches.append(name)
+        print(
+            f"{name:24s} {row['seconds']['build']:7.3f}s build "
+            f"{row['seconds']['mine']:7.3f}s mine   "
+            f"{row['n_transactions']:5d} txns   {status}"
+        )
+
+    stream_transactions = int(
+        os.environ.get("REPRO_BENCH_STREAM_TRANSACTIONS", str(DEFAULT_STREAM_TRANSACTIONS))
+    )
+    if stream_transactions > 0:
+        row = measure_streaming(stream_transactions)
+        rows["streaming-mobility/sampled"] = row
+        print(
+            f"{'streaming/sampled':24s} {row['seconds']['sampled_digest']:7.3f}s digest "
+            f"{row['n_transactions']:18d} txns"
+        )
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+    out.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    if mismatches:
+        print(
+            f"ERROR: digests diverged from golden for: {', '.join(mismatches)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

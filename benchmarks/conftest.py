@@ -62,7 +62,7 @@ def run_once(benchmark, function, *args, **kwargs):
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
-def bench_env() -> dict:
+def bench_env(scenario: str | None = None, corpus_size: int | None = None) -> dict:
     """The environment stamp every ``BENCH_*.json`` report embeds.
 
     Records what actually shaped the numbers — the resolved match-kernel
@@ -72,6 +72,11 @@ def bench_env() -> dict:
     resolved runtime knobs (worker count and sharded backend), and every
     ``REPRO_*`` environment override in effect — so two benchmark
     artifacts can be compared without guessing how they were produced.
+
+    Scenario-driven benchmarks additionally pass *scenario* (the
+    registered scenario name) and *corpus_size* (its transaction count),
+    which land in the stamp so a per-scenario timing can never be
+    compared against a run of a different workload shape.
     """
     import platform
 
@@ -83,7 +88,7 @@ def bench_env() -> dict:
     except (AttributeError, OSError):
         load_avg = None
 
-    return {
+    stamp = {
         "kernel": resolve_kernel(None),
         "numpy_version": None if columns.np is None else str(columns.np.__version__),
         "python_version": platform.python_version(),
@@ -97,3 +102,8 @@ def bench_env() -> dict:
             if key.startswith("REPRO_")
         },
     }
+    if scenario is not None:
+        stamp["scenario"] = scenario
+    if corpus_size is not None:
+        stamp["corpus_size"] = corpus_size
+    return stamp

@@ -17,8 +17,18 @@ The scenario/verification subsystem rides along as ``scenarios``::
 
     python -m repro.cli scenarios list
     python -m repro.cli scenarios run dense-uniform --workers 2
+    python -m repro.cli scenarios run --only stress-powerlaw,stress-windows
     python -m repro.cli scenarios verify --update-golden
     python -m repro.cli scenarios verify --shards 2,3 --backends serial,process
+    python -m repro.cli scenarios verify --only messy-mobility
+    python -m repro.cli scenarios stream --transactions 100000 --out stream.json
+
+``run`` and ``verify`` take scenario names positionally and/or through
+``--only name,name``; an unknown name (either way) exits non-zero and
+prints the registered list.  ``stream`` drives the lazy 100k-transaction
+streaming corpus through its sampled-digest verification under a peak
+memory probe and optionally writes the report as JSON (the CI
+scenario-stress artifact).
 
 Every run/verify command takes ``--kernel {python,vectorized}`` (or the
 ``REPRO_KERNEL`` environment variable) to pick the support-kernel
@@ -101,7 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run = scenario_commands.add_parser(
         "run", help="run scenarios and print their outcome digests"
     )
-    scenario_run.add_argument("names", nargs="+", help="scenario names (see 'scenarios list')")
+    scenario_run.add_argument("names", nargs="*",
+                              help="scenario names (default: every registered scenario)")
+    scenario_run.add_argument("--only", default=None, metavar="NAME,NAME",
+                              help="comma-separated filter applied to the selection; "
+                                   "unknown names exit non-zero")
     scenario_run.add_argument("--workers", type=int, default=None,
                               help="worker shards for support counting (default: serial)")
     scenario_run.add_argument("--backend", choices=list(BACKENDS), default=None,
@@ -115,6 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_verify.add_argument("names", nargs="*",
                                  help="scenario names (default: every registered scenario)")
+    scenario_verify.add_argument("--only", default=None, metavar="NAME,NAME",
+                                 help="comma-separated filter applied to the selection; "
+                                      "unknown names exit non-zero")
     scenario_verify.add_argument("--update-golden", action="store_true",
                                  help="rewrite the golden digests instead of comparing")
     scenario_verify.add_argument("--golden", type=Path, default=None,
@@ -130,7 +147,23 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="skip the legacy-matcher support oracle")
     scenario_verify.add_argument("--report", type=Path, default=None,
                                  help="also write the per-scenario digests to this JSON file")
-    for scenario_parser in (scenario_run, scenario_verify):
+    scenario_stream = scenario_commands.add_parser(
+        "stream",
+        help="sampled-digest + peak-memory check of the lazy streaming corpus",
+    )
+    scenario_stream.add_argument("--transactions", type=int, default=100_000,
+                                 help="corpus length (default 100000)")
+    scenario_stream.add_argument("--batch-size", type=int, default=512,
+                                 help="transactions materialised per batch (default 512)")
+    scenario_stream.add_argument("--seed", type=int, default=20050405,
+                                 help="corpus seed (default 20050405)")
+    scenario_stream.add_argument("--out", type=Path, default=None,
+                                 help="also write the stream report to this JSON file")
+    scenario_stream.add_argument("--kernel", choices=list(KERNELS), default=None,
+                                 help="match-kernel backend for the reservoir canonicalisation "
+                                      "(default: $REPRO_KERNEL or 'python')")
+
+    for scenario_parser in (scenario_run, scenario_verify, scenario_stream):
         _add_trace_option(scenario_parser)
 
     trace_parser = subparsers.add_parser(
@@ -232,20 +265,47 @@ def _scenarios_list(stream) -> int:
     return 0
 
 
-def _scenarios_run(args, stream) -> int:
-    from repro.runtime import create_runtime, resolve_workers
-    from repro.scenarios import get_scenario, run_scenario, scenario_names
+def _select_scenarios(positional, only) -> list[str] | None:
+    """Resolve positional names and the ``--only`` filter to a name list.
 
-    unknown = [name for name in args.names if name not in scenario_names()]
+    Returns ``None`` (after printing the registered list) when any name —
+    positional or filter — is unknown, or when the filter empties the
+    selection; callers exit non-zero on ``None``.
+    """
+    from repro.scenarios import scenario_names
+
+    registered = scenario_names()
+    only_names = None
+    if only is not None:
+        only_names = [part.strip() for part in only.split(",") if part.strip()]
+    unknown = [name for name in list(positional or []) + (only_names or []) if name not in registered]
     if unknown:
         print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(scenario_names())}", file=sys.stderr)
+        print(f"available: {', '.join(registered)}", file=sys.stderr)
+        return None
+    selected = list(positional) if positional else list(registered)
+    if only_names is not None:
+        keep = set(only_names)
+        selected = [name for name in selected if name in keep]
+    if not selected:
+        print("no scenarios selected", file=sys.stderr)
+        print(f"available: {', '.join(registered)}", file=sys.stderr)
+        return None
+    return selected
+
+
+def _scenarios_run(args, stream) -> int:
+    from repro.runtime import create_runtime, resolve_workers
+    from repro.scenarios import get_scenario, run_scenario
+
+    names = _select_scenarios(args.names, args.only)
+    if names is None:
         return 2
     runtime = None
     if resolve_workers(args.workers) > 1:
         runtime = create_runtime(workers=args.workers, backend=args.backend, kernel=args.kernel)
     try:
-        for name in args.names:
+        for name in names:
             outcome = run_scenario(get_scenario(name), runtime=runtime)
             payload = outcome.payload
             recall = payload.get("recall")
@@ -266,14 +326,16 @@ def _scenarios_run(args, stream) -> int:
 def _scenarios_verify(args, stream) -> int:
     import json
 
-    from repro.scenarios import scenario_names, verify_scenarios
+    from repro.scenarios import verify_scenarios
 
-    names = args.names or None
-    if names:
-        unknown = [name for name in names if name not in scenario_names()]
-        if unknown:
-            print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+    if args.names or args.only is not None:
+        names = _select_scenarios(args.names, args.only)
+        if names is None:
             return 2
+    else:
+        # No positional names and no filter: verify (and, with
+        # --update-golden, fully rewrite) the complete registry.
+        names = None
     try:
         shard_counts = tuple(int(part) for part in args.shards.split(",") if part.strip())
     except ValueError:
@@ -346,11 +408,42 @@ def _scenarios_verify(args, stream) -> int:
     return 0
 
 
+def _scenarios_stream(args, stream) -> int:
+    import json
+
+    from repro.scenarios import StreamingMobilityCorpus, stream_report
+
+    if args.transactions < 1:
+        print("--transactions must be at least 1", file=sys.stderr)
+        return 2
+    if args.batch_size < 1:
+        print("--batch-size must be at least 1", file=sys.stderr)
+        return 2
+    corpus = StreamingMobilityCorpus(n_transactions=args.transactions, seed=args.seed)
+    report = stream_report(corpus, batch_size=args.batch_size)
+    print(
+        f"streaming-mobility txns={report['n_transactions']} "
+        f"batch={report['batch_size']} "
+        f"peak={report['peak_traced_bytes'] / 1e6:.1f}MB "
+        f"digest={report['sampled_digest']}",
+        file=stream,
+    )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}", file=stream)
+    return 0
+
+
 def _run_scenarios_command(args, stream) -> int:
     if args.scenario_command == "list":
         return _scenarios_list(stream)
     if args.scenario_command == "run":
         return _scenarios_run(args, stream)
+    if args.scenario_command == "stream":
+        return _scenarios_stream(args, stream)
     return _scenarios_verify(args, stream)
 
 

@@ -15,6 +15,7 @@ weight-range labels of Figure 4).
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -111,7 +112,20 @@ class AttributeBinning:
         return len(self.bins)
 
     def bin_for(self, value: float) -> Bin:
-        """Return the bin containing *value* (values below the range clamp to bin 0)."""
+        """Return the bin containing *value* (values below the range clamp to bin 0).
+
+        Non-finite values (NaN / ±inf) are rejected rather than silently
+        landing in an arbitrary bin — a NaN compares false against every
+        edge, so accepting it would make the label depend on the bisect
+        implementation instead of the data.  Cleaning (see
+        :func:`repro.datasets.schema.clean_mobility_records`) is expected
+        to have removed or imputed such values first.
+        """
+        if not math.isfinite(value):
+            raise ValueError(
+                f"cannot bin non-finite {self.attribute} value {value!r}; "
+                "clean or impute the record first"
+            )
         lowers = [b.lower for b in self.bins]
         position = bisect_right(lowers, value) - 1
         if position < 0:

@@ -36,7 +36,13 @@ from datetime import date, timedelta
 from typing import Iterable, Sequence
 
 from repro.datasets.geo import road_miles, transit_hours_for_distance
-from repro.datasets.schema import Location, TransMode, Transaction, TransactionDataset
+from repro.datasets.schema import (
+    Location,
+    TransMode,
+    Transaction,
+    TransactionDataset,
+    ZoneDirectory,
+)
 
 #: Continental-US bounding box used to place locations.
 _CONUS_LAT_RANGE = (25.0, 49.0)
@@ -537,6 +543,165 @@ class TransportationDataGenerator:
         if self._rng.random() < self.config.mode_noise:
             is_ltl = not is_ltl
         return TransMode.LESS_THAN_TRUCKLOAD if is_ltl else TransMode.TRUCKLOAD
+
+
+# ----------------------------------------------------------------------
+# Messy multi-source urban-mobility feed
+# ----------------------------------------------------------------------
+#: Base names of the synthetic city's zones; positions on a 0.1-degree
+#: grid guarantee every zone centroid rounds to a distinct vertex label.
+_ZONE_NAMES: tuple[str, ...] = (
+    "riverside", "harborview", "midtown", "oldtown", "lakeside", "brookfield",
+    "eastgate", "westend", "northpoint", "southbank", "hillcrest", "parkway",
+    "ferndale", "stonebridge", "maplewood", "cedarview", "elmhurst", "bayfront",
+)
+
+
+@dataclass(frozen=True)
+class MobilityConfig:
+    """Configuration of the messy urban-mobility feed generator.
+
+    The defaults produce roughly twelve weeks of trips across eighteen
+    zones with the dirt levels of a typical multi-source feed: ~3%
+    missing numeric values, a few percent coordinate/timestamp outliers,
+    and zone names spelled through whatever synonym each source uses.
+    """
+
+    seed: int = 20050405
+    n_zones: int = 18
+    n_weeks: int = 12
+    n_recurring_routes: int = 10
+    background_per_week: int = 16
+    missing_rate: float = 0.03
+    outlier_rate: float = 0.03
+    unknown_zone_rate: float = 0.03
+    start_date: date = date(2004, 3, 1)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_zones <= len(_ZONE_NAMES):
+            raise ValueError(f"n_zones must be in [1, {len(_ZONE_NAMES)}]")
+        if self.n_weeks < 1:
+            raise ValueError("n_weeks must be at least 1")
+
+    @property
+    def window(self) -> tuple[date, date]:
+        """The feed's observation window (outliers are clamped into it)."""
+        return (self.start_date, self.start_date + timedelta(days=self.n_weeks * 7 - 1))
+
+
+def _zone_spellings(name: str) -> list[str]:
+    """The synonym spellings sources use for the zone called *name*.
+
+    The first entry is the canonical name itself; the rest are the
+    variants registered as directory synonyms (an all-caps form is
+    omitted — case folds to the canonical spelling anyway).
+    """
+    return [name, f"{name} district", name[:3].upper()]
+
+
+def mobility_zone_directory(config: MobilityConfig) -> ZoneDirectory:
+    """The city's zone directory: canonical names, synonyms, centroids."""
+    directory = ZoneDirectory()
+    for index, name in enumerate(_ZONE_NAMES[: config.n_zones]):
+        centroid = Location(45.0 + 0.1 * (index // 6), -122.9 + 0.1 * (index % 6))
+        spellings = _zone_spellings(name)
+        directory.add(name, centroid, synonyms=spellings[1:])
+    return directory
+
+
+def generate_messy_mobility_records(
+    config: MobilityConfig, zones: ZoneDirectory | None = None
+) -> list[dict[str, object]]:
+    """Raw mobility trip records, deliberately dirty.
+
+    A pure function of ``config.seed``.  Each record is a flat dict in
+    the shape :func:`repro.datasets.schema.clean_mobility_records`
+    consumes.  Structure first: a set of recurring weekly routes (same
+    zone pair, consistent weight, one trip per week) that survives
+    cleaning as the frequent patterns downstream miners should find,
+    plus uniform background trips.  Dirt second, injected on top:
+
+    * zone names spelled through a random registered synonym, and a few
+      percent replaced with names no directory resolves;
+    * numeric fields (distance, weight, transit hours) dropped at
+      ``missing_rate``, some replaced with NaN or negatives;
+    * coordinates shifted tens of degrees, pickup dates teleported
+      outside the observation window, and deliveries placed before
+      pickups, each at ``outlier_rate``.
+    """
+    directory = zones if zones is not None else mobility_zone_directory(config)
+    zone_list = directory.zones()
+    rng = random.Random(config.seed)
+
+    def spell(zone_index: int) -> str:
+        roll = rng.random()
+        if roll < config.unknown_zone_rate:
+            return f"uncharted-{rng.randrange(100)}"
+        spellings = _zone_spellings(zone_list[zone_index].name)
+        if roll < config.unknown_zone_rate + 0.55:
+            return spellings[0]
+        return spellings[1 + rng.randrange(len(spellings) - 1)]
+
+    routes = []
+    for _ in range(config.n_recurring_routes):
+        a, b = rng.sample(range(len(zone_list)), 2)
+        routes.append((a, b, rng.uniform(3_000.0, 38_000.0)))
+
+    def coordinate(zone_index: int, axis: str) -> float:
+        centroid = zone_list[zone_index].centroid
+        base = centroid.latitude if axis == "lat" else centroid.longitude
+        value = base + rng.uniform(-0.03, 0.03)
+        if rng.random() < config.outlier_rate:
+            value += rng.choice((-40.0, 25.0, 60.0))
+        return value
+
+    def numeric(value: float) -> object:
+        roll = rng.random()
+        if roll < config.missing_rate:
+            return rng.choice((None, float("nan")))
+        if roll < config.missing_rate + config.outlier_rate / 2:
+            return -abs(value)
+        return round(value, 1)
+
+    def trip(trip_id: int, origin: int, dest: int, pickup: date, weight: float) -> dict[str, object]:
+        distance = 40.0 + 55.0 * (abs(origin - dest) + rng.uniform(0.0, 1.5))
+        hours = max(2.0, distance / rng.uniform(35.0, 50.0))
+        if rng.random() < config.outlier_rate:
+            pickup = pickup + timedelta(days=rng.choice((-5000, 9000)))
+        delivery = pickup + timedelta(days=max(1, int(hours // 24) + rng.randint(0, 2)))
+        if rng.random() < config.outlier_rate:
+            delivery = pickup - timedelta(days=rng.randint(1, 30))
+        mode = "TL" if weight >= 10_000.0 else "LTL"
+        return {
+            "trip_id": trip_id,
+            "origin_zone": spell(origin),
+            "dest_zone": spell(dest),
+            "origin_lat": coordinate(origin, "lat"),
+            "origin_lon": coordinate(origin, "lon"),
+            "dest_lat": coordinate(dest, "lat"),
+            "dest_lon": coordinate(dest, "lon"),
+            "pickup_date": pickup.isoformat(),
+            "delivery_date": delivery.isoformat() if rng.random() >= config.missing_rate else None,
+            "distance_miles": numeric(distance),
+            "weight_lb": numeric(weight),
+            "transit_hours": numeric(hours),
+            "mode": rng.choice((mode, mode.lower(), "Truckload" if mode == "TL" else "Partial", None)),
+        }
+
+    records: list[dict[str, object]] = []
+    trip_id = 1
+    for week in range(config.n_weeks):
+        week_start = config.start_date + timedelta(days=7 * week)
+        for origin, dest, weight in routes:
+            pickup = week_start + timedelta(days=rng.randint(0, 2))
+            records.append(trip(trip_id, origin, dest, pickup, weight * rng.uniform(0.96, 1.04)))
+            trip_id += 1
+        for _ in range(config.background_per_week):
+            origin, dest = rng.sample(range(len(zone_list)), 2)
+            pickup = week_start + timedelta(days=rng.randint(0, 6))
+            records.append(trip(trip_id, origin, dest, pickup, rng.uniform(500.0, 44_000.0)))
+            trip_id += 1
+    return records
 
 
 def generate_dataset(

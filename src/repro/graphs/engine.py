@@ -50,6 +50,7 @@ from repro.graphs.canonical import CanonicalizationError
 from repro.graphs.compact import CompactGraph, LabelTable
 from repro.graphs.index import GraphIndex
 from repro.graphs.labeled_graph import LabeledGraph, VertexId
+from repro.obs.tracer import get_tracer
 
 #: Sentinel for "canonical code unavailable" pattern keys.
 _NO_KEY = object()
@@ -1091,6 +1092,7 @@ class MatchEngine:
         try:
             return p_index.canonical()
         except CanonicalizationError:
+            get_tracer().metrics.counter("canonical_fallbacks", site="engine")
             return _NO_KEY
 
     def _compact_embeddings(

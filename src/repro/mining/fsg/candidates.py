@@ -34,6 +34,7 @@ from repro.graphs.canonical import (
 )
 from repro.graphs.engine import MatchEngine
 from repro.graphs.isomorphism import are_isomorphic
+from repro.obs.tracer import get_tracer
 from repro.graphs.labeled_graph import LabeledGraph
 
 #: A frequent single edge described by its label triple.
@@ -289,6 +290,7 @@ def _canonical_of(candidate: Candidate):
         try:
             code = canonical_code(candidate.pattern, colours=candidate.colours)
         except CanonicalizationError:
+            get_tracer().metrics.counter("canonical_fallbacks", site="candidates")
             code = _CANON_FAILED
         candidate.code = code
     return code

@@ -366,6 +366,7 @@ class FSGMiner:
             try:
                 pattern_keys.append(engine.canonical_code(candidate.pattern))
             except CanonicalizationError:
+                get_tracer().metrics.counter("canonical_fallbacks", site="miner")
                 pattern_keys.append(False)
         planning_seconds = time.perf_counter() - planning_started
         wire_before = getattr(runtime, "wire_bytes_shipped", 0)
@@ -383,6 +384,10 @@ class FSGMiner:
             # the shards its tid list touches, but the per-(request,
             # shard) breakdown is not visible parent-side here).
             counters["patterns_full"] = len(viable)
+            scan_units = getattr(runtime, "last_level_scan_units", None)
+            if scan_units:
+                counters["shard_scan_max"] = max(scan_units)
+                counters["shard_scan_min"] = min(scan_units)
             result.level_telemetry[level] = counters
             drain = getattr(runtime, "drain_worker_spans", None)
             if drain is not None:
@@ -442,6 +447,7 @@ class FSGMiner:
                 try:
                     key = engine.canonical_code(candidate.pattern)
                 except CanonicalizationError:
+                    get_tracer().metrics.counter("canonical_fallbacks", site="miner")
                     key = False
             requests.append(
                 LevelRequest(

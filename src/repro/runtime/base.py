@@ -114,6 +114,12 @@ class LevelRequest:
 #: cross-check; and ``evictions`` counts per-shard pattern-store entries
 #: retired (miner-driven and shard-capacity evictions on one ruler; a
 #: stateless session, having no store, reports zero).
+#: ``shard_scan_max`` / ``shard_scan_min`` expose the level's placement
+#: skew: the largest and smallest per-shard scan workload (candidate
+#: tids assigned to the shard, summed over the level's requests; an idle
+#: shard counts zero).  A corpus whose heavy transactions pile onto one
+#: shard shows a wide max/min gap here — the signal the power-law stress
+#: scenario asserts on.  Serial runtimes have no shards and report zero.
 SESSION_TELEMETRY_KEYS = (
     "wire_bytes",
     "planning_seconds",
@@ -121,6 +127,8 @@ SESSION_TELEMETRY_KEYS = (
     "patterns_delta",
     "store_hits",
     "evictions",
+    "shard_scan_max",
+    "shard_scan_min",
 )
 
 
@@ -247,6 +255,13 @@ class DelegatingSession(MiningSession):
             # One engine, one "shard": per-(request, shard) degenerates
             # to one shipment per request.
             self._telemetry["patterns_full"] += len(requests)
+        # Sharded runtimes record each level's per-shard scan workload;
+        # surface the placement skew (absent attribute on SerialRuntime:
+        # one engine, no skew to report).
+        scan_units = getattr(self._runtime, "last_level_scan_units", None)
+        if scan_units:
+            self._telemetry["shard_scan_max"] = max(scan_units)
+            self._telemetry["shard_scan_min"] = min(scan_units)
         # Sharded runtimes buffer the worker spans a tracing run gathers;
         # stamp them with this level (no-op attribute on SerialRuntime).
         drain = getattr(self._runtime, "drain_worker_spans", None)

@@ -196,6 +196,7 @@ class BatchSupportPlanner:
                 batch.positions.append(position)
                 batch.wires.append(wire)
                 batch.tid_lists.append(sorted(locals_))
+                batch.scan_tids += len(locals_)
                 batch.keys.append(request.key)
                 batch.uids.append(request.uid)
                 batch.parent_uids.append(request.parent_uid)
@@ -326,6 +327,7 @@ class BatchSupportPlanner:
                 batch = batches[shard]
                 batch.positions.append(position)
                 batch.payloads.append(payload)
+                batch.scan_tids += len(locals_)
                 batch.uids.append(request.uid)
                 batch.parent_uids.append(request.parent_uid)
                 batch.extensions.append(request.extension)
@@ -358,6 +360,9 @@ class ShardSessionBatch:
     parent_uids: list[object] = field(default_factory=list)
     extensions: list[tuple | None] = field(default_factory=list)
     abort_bounds: list[int | None] = field(default_factory=list)
+    #: Scan workload routed to this shard: candidate tids summed over the
+    #: level's requests (the shard-skew telemetry's unit of account).
+    scan_tids: int = 0
 
     def is_empty(self) -> bool:
         return not self.positions
@@ -388,6 +393,9 @@ class ShardLevelBatch:
     parent_uids: list[object] = field(default_factory=list)
     extensions: list[tuple | None] = field(default_factory=list)
     abort_bounds: list[int | None] = field(default_factory=list)
+    #: Scan workload routed to this shard: candidate tids summed over the
+    #: level's requests (the shard-skew telemetry's unit of account).
+    scan_tids: int = 0
 
     def is_empty(self) -> bool:
         return not self.positions

@@ -398,6 +398,7 @@ class ShardedEngine(MiningRuntime):
         self.planner = BatchSupportPlanner(shards)
         self._wire_bytes = 0
         self._level_patterns_posted = 0
+        self._last_level_scan_units: list[int] = []
         self._pool = make_pool(
             self.backend,
             shards,
@@ -514,6 +515,19 @@ class ShardedEngine(MiningRuntime):
         comparably to the stateful session.
         """
         return self._level_patterns_posted
+
+    @property
+    def last_level_scan_units(self) -> list[int]:
+        """Per-shard scan workload of the most recent support batch.
+
+        One entry per shard (idle shards report zero): the number of
+        candidate tids the planner routed there, summed over the batch.
+        Sessions surface the max/min of this list as the
+        ``shard_scan_max`` / ``shard_scan_min`` telemetry — the signal
+        that makes placement skew under label- or size-skewed corpora
+        visible per level.
+        """
+        return list(self._last_level_scan_units)
 
     # ------------------------------------------------------------------
     # Dispatch: wire accounting + scatter/gather
@@ -636,6 +650,9 @@ class ShardedEngine(MiningRuntime):
         batches = self.planner.plan(
             patterns, tid_lists, self.table, self.locate, pattern_keys
         )
+        self._last_level_scan_units = [
+            sum(len(tids) for tids in batch.tid_lists) for batch in batches
+        ]
         # Scatter/gather: all shards evaluate their slice of the level
         # concurrently under the process backend.
         pending = self._scatter(
@@ -657,6 +674,7 @@ class ShardedEngine(MiningRuntime):
         min_support: int | None = None,
     ) -> list[int]:
         batches = self.planner.plan_level(requests, self.table, self.locate, min_support)
+        self._last_level_scan_units = [batch.scan_tids for batch in batches]
         self._level_patterns_posted += sum(len(batch.wires) for batch in batches)
         pending = self._scatter(
             [
@@ -834,6 +852,12 @@ class ShardedSession(MiningSession):
             full = batch.count_full()
             telemetry["patterns_full"] += full
             telemetry["patterns_delta"] += len(batch.payloads) - full
+        # Placement skew across every shard, idle shards included: the
+        # level's per-shard scan workload as the planner routed it.
+        scan_units = [batch.scan_tids for batch in batches]
+        runtime._last_level_scan_units = scan_units
+        telemetry["shard_scan_max"] = max(scan_units)
+        telemetry["shard_scan_min"] = min(scan_units)
         telemetry["planning_seconds"] += time.perf_counter() - planning_started
         wire_before = runtime.wire_bytes_shipped
         pending = runtime._scatter(messages)

@@ -42,10 +42,16 @@ from repro.scenarios.harness import (
     ScenarioOutcome,
     check_invariants,
     check_legacy_oracle,
+    corpus_fingerprint,
     differential_check,
     pattern_code,
     payload_digest,
     run_scenario,
+)
+from repro.scenarios.streaming import (
+    StreamingMobilityCorpus,
+    sampled_digest,
+    stream_report,
 )
 from repro.scenarios.golden import (
     VerificationResult,
@@ -66,9 +72,11 @@ __all__ = [
     "Scenario",
     "ScenarioData",
     "ScenarioOutcome",
+    "StreamingMobilityCorpus",
     "VerificationResult",
     "check_invariants",
     "check_legacy_oracle",
+    "corpus_fingerprint",
     "default_golden_path",
     "differential_check",
     "get_scenario",
@@ -78,8 +86,10 @@ __all__ = [
     "payload_digest",
     "register",
     "run_scenario",
+    "sampled_digest",
     "save_golden",
     "scenario_names",
     "stitch_transactions",
+    "stream_report",
     "verify_scenarios",
 ]

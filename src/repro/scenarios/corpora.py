@@ -20,14 +20,37 @@ the shapes that have historically broken graph miners:
   stars and rings, some too symmetric to canonicalise) that stress
   candidate deduplication;
 * ``transportation-od`` — the paper's own synthetic OD dataset at a tiny
-  scale, partitioned into graph transactions.
+  scale, partitioned into graph transactions;
+* ``messy-mobility`` — a multi-source mobility feed with synonym zone
+  names, missing values, and coordinate/timestamp outliers, forced
+  through schema cleaning and attribute binning *before* graph
+  construction, so the digest covers the whole ingest pipeline;
+* ``stress-powerlaw`` — power-law transaction sizes and label skew, so
+  round-robin shard placement produces visibly unbalanced scan work;
+* ``stress-nearclique`` — uniform near-cliques whose symmetry defeats
+  canonicalisation, forcing the invariant fallback on the digest path;
+* ``stress-windows`` — overlapping temporal windows (stride < window)
+  of the paper's OD data, so the same trip supports several
+  transactions;
+* ``streaming-mobility-head`` — the head of the 100k streaming corpus
+  (see :mod:`repro.scenarios.streaming`), putting the streaming
+  generator under the full differential gate at a mineable size.
 """
 
 from __future__ import annotations
 
 import random
+from datetime import timedelta
 
-from repro.datasets.generator import GeneratorConfig, TransportationDataGenerator
+from repro.datasets.generator import (
+    GeneratorConfig,
+    MobilityConfig,
+    TransportationDataGenerator,
+    generate_messy_mobility_records,
+    mobility_zone_directory,
+)
+from repro.datasets.schema import TransactionDataset, clean_mobility_records
+from repro.partitioning.windows import partition_by_window, window_graphs
 from repro.graphs.builders import build_od_graph
 from repro.graphs.labeled_graph import LabeledGraph, LabeledMultiGraph
 from repro.graphs.motifs import chain, cycle, hub_and_spoke
@@ -40,6 +63,7 @@ from repro.scenarios.base import (
     register,
     stitch_transactions,
 )
+from repro.scenarios.streaming import StreamingMobilityCorpus
 
 
 def _random_graph(
@@ -226,6 +250,130 @@ def _build_transportation_od(seed: int) -> ScenarioData:
     return ScenarioData(transactions=transactions, host=host)
 
 
+def _build_messy_mobility(seed: int) -> ScenarioData:
+    """Dirty multi-source feed → clean → bin → window → transactions.
+
+    Everything upstream of graph construction runs inside the builder, so
+    the scenario digest pins the cleaning and discretisation behaviour:
+    a regression in synonym resolution, imputation, or binning changes
+    the corpus fingerprint even if mining itself is untouched.
+    """
+    config = MobilityConfig(seed=seed)
+    zones = mobility_zone_directory(config)
+    records = generate_messy_mobility_records(config, zones)
+    dataset, _report = clean_mobility_records(
+        records, zones, observation_window=config.window, name="messy-mobility"
+    )
+    transactions = window_graphs(
+        partition_by_window(dataset, window_days=7, edge_attribute="GROSS_WEIGHT")
+    )
+    return ScenarioData(transactions=transactions, host=stitch_transactions(transactions))
+
+
+def _build_stress_powerlaw(seed: int) -> ScenarioData:
+    """Power-law transaction sizes over a skewed label alphabet.
+
+    A handful of giant transactions and a long tail of tiny ones: under
+    round-robin shard placement the giants land on whichever shards their
+    tids hit, so per-shard scan workloads diverge — the shape the
+    ``shard_scan_max`` / ``shard_scan_min`` telemetry exists to expose.
+    """
+    rng = random.Random(seed)
+    rare_vertex = [f"cold{i}" for i in range(6)]
+    transactions = []
+    for index in range(24):
+        # Cubic power law: mostly 3-5 vertices, occasionally up to ~18.
+        n_vertices = 3 + int(15 * (rng.random() ** 3))
+        graph = LabeledGraph(name=f"power{index}")
+        for v in range(n_vertices):
+            graph.add_vertex(f"v{v}", _skewed_choice(rng, "hub", rare_vertex, 0.7))
+        n_edges = min(n_vertices * (n_vertices - 1), int(n_vertices * 1.8))
+        attempts = 0
+        while graph.n_edges < n_edges and attempts < n_edges * 10:
+            attempts += 1
+            a, b = rng.sample(range(n_vertices), 2)
+            if graph.has_edge(f"v{a}", f"v{b}"):
+                continue
+            graph.add_edge(f"v{a}", f"v{b}", _skewed_choice(rng, "w", ["x", "y"], 0.8))
+        transactions.append(graph)
+    return ScenarioData(transactions=transactions, host=stitch_transactions(transactions))
+
+
+def _build_stress_nearclique(seed: int) -> ScenarioData:
+    """Uniform near-cliques: symmetry stress for canonicalisation.
+
+    The full bidirectional K9 cliques have a single colour class of nine
+    vertices (9! candidate orderings), so canonicalising them raises
+    :class:`CanonicalizationError` and the digest path must take the
+    invariant fallback; the K9 variants with three directed edges removed
+    refine into three classes of three (216 orderings) and canonicalise
+    cheaply, pinning both sides of the boundary in one corpus.
+    """
+    rng = random.Random(seed)
+
+    def clique(prefix: str, n: int, dropped: tuple[tuple[int, int], ...]) -> LabeledGraph:
+        graph = LabeledGraph(name=f"{prefix}K{n}")
+        for v in range(n):
+            graph.add_vertex(f"{prefix}v{v}", "site")
+        for a in range(n):
+            for b in range(n):
+                if a != b and (a, b) not in dropped:
+                    graph.add_edge(f"{prefix}v{a}", f"{prefix}v{b}", "e")
+        return graph
+
+    transactions: list[LabeledGraph] = []
+    for index in range(4):
+        # Too symmetric to canonicalise: single colour class, 9! orderings.
+        transactions.append(clique(f"full{index}_", 9, dropped=()))
+    for index in range(4):
+        # Three dropped directed edges split the refinement into three
+        # colour classes of three — canonicalisable, but only just.
+        transactions.append(clique(f"near{index}_", 9, dropped=((0, 1), (2, 3), (4, 5))))
+    for index in range(8):
+        dropped = ((0, 1),) if index % 2 else ()
+        transactions.append(clique(f"k5_{index}_", 5, dropped=dropped))
+    rng.shuffle(transactions)
+    return ScenarioData(transactions=transactions, host=stitch_transactions(transactions))
+
+
+def _build_stress_windows(seed: int) -> ScenarioData:
+    """Overlapping temporal windows: stride (3 days) < window (7 days).
+
+    Each trip of the OD dataset is active in up to three consecutive
+    windows, so window transactions share edges — support counts reflect
+    the overlap, not just the raw data.  The dataset is clipped to six
+    weeks to keep the corpus small enough for the differential gate.
+    """
+    generator = TransportationDataGenerator(GeneratorConfig(scale=0.002, seed=seed))
+    dataset = generator.generate()
+    first_date, _ = dataset.date_range()
+    cutoff = first_date + timedelta(days=41)
+    clipped = TransactionDataset(
+        transactions=[t for t in dataset.transactions if t.req_pickup_dt <= cutoff],
+        name="stress-windows",
+    )
+    transactions = window_graphs(
+        partition_by_window(
+            clipped, window_days=7, stride_days=3, edge_attribute="GROSS_WEIGHT"
+        )
+    )
+    return ScenarioData(transactions=transactions, host=stitch_transactions(transactions))
+
+
+def _build_streaming_head(seed: int) -> ScenarioData:
+    """The first 32 transactions of the 100k streaming corpus.
+
+    ``StreamingMobilityCorpus.transaction`` is a pure function of
+    ``(seed, tid)`` independent of corpus length, so this head is
+    byte-identical to the head of the full production corpus — the
+    differential gate here covers the exact generator the slow-lane
+    streaming check samples at scale.
+    """
+    corpus = StreamingMobilityCorpus(n_transactions=32, seed=seed)
+    transactions = corpus.head(32)
+    return ScenarioData(transactions=transactions, host=stitch_transactions(transactions))
+
+
 register(
     Scenario(
         name="dense-uniform",
@@ -310,5 +458,74 @@ register(
             subdue_max_edges=2,
             subdue_limit=60,
         ),
+    )
+)
+register(
+    Scenario(
+        name="messy-mobility",
+        description="dirty multi-source mobility feed cleaned and binned before graphing",
+        builder=_build_messy_mobility,
+        tags=("messy", "ingest", "mobility"),
+        params=MiningParams(
+            fsg_min_support=7,
+            fsg_max_edges=2,
+            structural_k=5,
+            structural_min_support=2,
+            structural_max_edges=2,
+            subdue_max_edges=2,
+            subdue_limit=50,
+        ),
+    )
+)
+register(
+    Scenario(
+        name="stress-powerlaw",
+        description="power-law transaction sizes and label skew pressuring shard balance",
+        builder=_build_stress_powerlaw,
+        tags=("stress", "skew"),
+        params=MiningParams(fsg_min_support=4, fsg_max_edges=2, subdue_max_edges=2),
+    )
+)
+register(
+    Scenario(
+        name="stress-nearclique",
+        description="uniform near-cliques forcing the canonicalisation fallback",
+        builder=_build_stress_nearclique,
+        tags=("stress", "symmetry"),
+        params=MiningParams(
+            fsg_min_support=6,
+            fsg_max_edges=2,
+            structural_k=4,
+            structural_max_edges=2,
+            subdue_beam=2,
+            subdue_max_edges=2,
+            subdue_limit=40,
+        ),
+    )
+)
+register(
+    Scenario(
+        name="stress-windows",
+        description="overlapping temporal windows (stride < window) of the OD dataset",
+        builder=_build_stress_windows,
+        tags=("stress", "temporal", "windows"),
+        params=MiningParams(
+            fsg_min_support=8,
+            fsg_max_edges=2,
+            structural_k=5,
+            structural_min_support=2,
+            structural_max_edges=2,
+            subdue_max_edges=2,
+            subdue_limit=40,
+        ),
+    )
+)
+register(
+    Scenario(
+        name="streaming-mobility-head",
+        description="head of the 100k streaming corpus under the full differential gate",
+        builder=_build_streaming_head,
+        tags=("streaming", "mobility"),
+        params=MiningParams(fsg_min_support=2, fsg_max_edges=2, subdue_max_edges=2),
     )
 )

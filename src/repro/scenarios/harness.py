@@ -56,6 +56,7 @@ def pattern_code(engine: MatchEngine, pattern: LabeledGraph) -> str:
     try:
         return engine.canonical_code(pattern)
     except CanonicalizationError:
+        get_tracer().metrics.counter("canonical_fallbacks", site="digest")
         return f"invariant:{engine.graph_invariant(pattern)}"
 
 
@@ -81,6 +82,23 @@ def payload_digest(payload: dict) -> str:
     """SHA-256 of the canonical JSON encoding of *payload*."""
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def corpus_fingerprint(data: ScenarioData) -> str:
+    """A naming-independent digest of a built corpus, before any mining.
+
+    One canonical code per transaction plus the host dimensions — enough
+    to catch a builder whose output drifts across processes or hash
+    seeds, cheap enough to recompute in a subprocess determinism test.
+    """
+    engine = MatchEngine()
+    return payload_digest(
+        {
+            "corpus": sorted(pattern_code(engine, graph) for graph in data.transactions),
+            "host": {"n_vertices": data.host.n_vertices, "n_edges": data.host.n_edges},
+            "n_ground_truth": len(data.ground_truth),
+        }
+    )
 
 
 def _fsg_payload(engine: MatchEngine, result: FSGResult) -> list[dict]:

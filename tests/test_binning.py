@@ -96,3 +96,18 @@ class TestBinningScheme:
         scheme = BinningScheme()
         scheme.add(AttributeBinning.equal_width("GROSS_WEIGHT", 0, 100, 4))
         assert scheme.bin_index("GROSS_WEIGHT", 99.0) == 3
+
+
+class TestNonFiniteRejection:
+    def test_nan_and_infinities_are_rejected_with_a_cleaning_hint(self):
+        binning = AttributeBinning.equal_width("GROSS_WEIGHT", 0.0, 70_000.0, 7)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="clean or impute"):
+                binning.bin_for(bad)
+            with pytest.raises(ValueError):
+                binning.index_for(bad)
+
+    def test_finite_extremes_still_bin(self):
+        binning = AttributeBinning.equal_width("GROSS_WEIGHT", 0.0, 70_000.0, 7)
+        assert binning.index_for(-1e12) == 0           # clamps below range
+        assert binning.index_for(1e12) == 6            # open-ended top bin

@@ -1,0 +1,325 @@
+"""Production-scale scenario diversity: stress shapes and the streaming lane.
+
+Four concerns, matching the families added alongside this module:
+
+* the stress scenarios *demonstrably* exercise what they claim to —
+  the near-clique corpus drives the canonicalisation fallback (observed
+  through the ``canonical_fallbacks`` metrics counter), the power-law
+  corpus produces visible per-shard scan skew in ``level_telemetry``,
+  and the window corpus really overlaps (stride < window);
+* the messy-mobility scenario runs the whole ingest pipeline — synonym
+  resolution, imputation, clipping, clamping — before any graph exists;
+* every registered scenario builds byte-identically in fresh processes
+  with different ``PYTHONHASHSEED`` values (a Hypothesis property over
+  the registry, backed by two real subprocess fingerprint sweeps);
+* the 100k streaming corpus (``slow`` lane) matches its pinned sampled
+  digest without ever materialising the corpus, asserted via a peak
+  traced-memory bound.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.mining.fsg.miner import FSGMiner
+from repro.obs import Tracer, activate
+from repro.runtime import ShardedEngine
+from repro.scenarios import (
+    StreamingMobilityCorpus,
+    corpus_fingerprint,
+    get_scenario,
+    run_scenario,
+    sampled_digest,
+    scenario_names,
+    stream_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+STREAMING_GOLDEN = Path(__file__).resolve().parent / "golden" / "streaming.json"
+
+#: Ceiling for the streaming check's peak traced allocation.  A fully
+#: materialised 100k-transaction corpus measures several hundred MB; the
+#: streaming pass must stay an order of magnitude below that.
+STREAMING_PEAK_BYTES_LIMIT = 150_000_000
+
+
+def _load_streaming_golden() -> dict:
+    return json.loads(STREAMING_GOLDEN.read_text(encoding="utf-8"))["streaming-mobility"]
+
+
+# ----------------------------------------------------------------------
+# Stress families
+# ----------------------------------------------------------------------
+class TestStressFamilies:
+    def test_nearclique_exercises_canonicalisation_fallback(self):
+        with activate(Tracer()) as tracer:
+            outcome = run_scenario(get_scenario("stress-nearclique"))
+        assert tracer.metrics.counter_total("canonical_fallbacks") > 0
+        # The fallback shows in the digest itself: the four full K9
+        # cliques are too symmetric to canonicalise, the K9-minus-3
+        # variants and K5s are not.
+        fallback = [c for c in outcome.payload["corpus"] if c.startswith("invariant:")]
+        canonical = [c for c in outcome.payload["corpus"] if not c.startswith("invariant:")]
+        assert len(fallback) == 4
+        assert canonical
+        assert outcome.payload["fsg"], "uniform cliques must still yield frequent patterns"
+
+    def test_powerlaw_shard_scan_skew_is_visible(self):
+        scenario = get_scenario("stress-powerlaw")
+        data = scenario.build()
+        runtime = ShardedEngine(shards=2, backend="serial")
+        try:
+            result = FSGMiner(
+                min_support=scenario.params.fsg_min_support,
+                max_edges=scenario.params.fsg_max_edges,
+                runtime=runtime,
+            ).mine(data.transactions)
+        finally:
+            runtime.close()
+        skewed_levels = [
+            level
+            for level, counters in result.level_telemetry.items()
+            if counters["shard_scan_max"] > counters["shard_scan_min"]
+        ]
+        assert skewed_levels, (
+            "power-law corpus should produce unequal per-shard scan workloads: "
+            f"{result.level_telemetry}"
+        )
+
+    def test_serial_run_reports_zero_shard_scan(self):
+        scenario = get_scenario("stress-powerlaw")
+        result = FSGMiner(
+            min_support=scenario.params.fsg_min_support,
+            max_edges=scenario.params.fsg_max_edges,
+        ).mine(scenario.build().transactions)
+        for counters in result.level_telemetry.values():
+            assert counters["shard_scan_max"] == 0
+            assert counters["shard_scan_min"] == 0
+
+    def test_powerlaw_sizes_follow_a_power_law(self):
+        data = get_scenario("stress-powerlaw").build()
+        sizes = sorted(t.n_vertices for t in data.transactions)
+        # A genuine heavy tail: the biggest transaction is several times
+        # the median, and small transactions dominate.
+        median = sizes[len(sizes) // 2]
+        assert sizes[-1] >= 2 * median
+        assert sizes[0] <= median // 2 + 1
+        assert sum(1 for s in sizes if s <= median) >= len(sizes) // 2
+
+    def test_stress_windows_transactions_overlap(self):
+        data = get_scenario("stress-windows").build()
+        assert len(data.transactions) >= 10
+
+        def signatures(graph):
+            return {
+                (
+                    str(graph.vertex_label(edge.source)),
+                    str(edge.label),
+                    str(graph.vertex_label(edge.target)),
+                )
+                for edge in graph.edges()
+            }
+
+        shared = [
+            len(signatures(a) & signatures(b))
+            for a, b in zip(data.transactions, data.transactions[1:])
+        ]
+        # Stride (3 days) < window (7 days): consecutive windows see the
+        # same active trips, so adjacent transactions share edges.
+        assert sum(1 for count in shared if count > 0) >= len(shared) // 2
+
+
+# ----------------------------------------------------------------------
+# Messy-mobility ingest coverage
+# ----------------------------------------------------------------------
+class TestMessyMobilityScenario:
+    def test_cleaning_report_shows_every_kind_of_dirt(self):
+        from repro.datasets.generator import (
+            MobilityConfig,
+            generate_messy_mobility_records,
+            mobility_zone_directory,
+        )
+        from repro.datasets.schema import clean_mobility_records
+
+        config = MobilityConfig()
+        zones = mobility_zone_directory(config)
+        records = generate_messy_mobility_records(config, zones)
+        dataset, report = clean_mobility_records(
+            records, zones, observation_window=config.window
+        )
+        assert report.rows_in == len(records)
+        assert report.rows_kept == len(dataset)
+        assert report.dropped_unresolvable_zone > 0
+        assert report.synonyms_resolved > 0
+        assert report.imputed_values > 0
+        assert report.clipped_coordinates > 0
+        assert report.clamped_timestamps > 0
+
+    def test_scenario_survives_the_mess_with_frequent_patterns(self):
+        outcome = run_scenario(get_scenario("messy-mobility"))
+        assert outcome.payload["n_transactions"] >= 10
+        assert outcome.payload["fsg"], "recurring routes must survive cleaning"
+        # Vertex labels are rounded coordinates: cleaning must have
+        # normalised every dirty coordinate back onto the zone grid.
+        for code in outcome.payload["corpus"]:
+            assert not code.startswith("invariant:")
+
+
+# ----------------------------------------------------------------------
+# Cross-process build determinism (Hypothesis over the registry)
+# ----------------------------------------------------------------------
+_FINGERPRINT_SCRIPT = """\
+import json, sys
+from repro.scenarios import corpus_fingerprint, get_scenario, scenario_names
+print(json.dumps({name: corpus_fingerprint(get_scenario(name).build())
+                  for name in scenario_names()}))
+"""
+
+
+@pytest.fixture(scope="module")
+def subprocess_fingerprints():
+    """Scenario fingerprints from two fresh interpreters, different hash seeds."""
+
+    def sweep(hash_seed: str) -> dict[str, str]:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        output = subprocess.run(
+            [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+            cwd=str(REPO_ROOT),
+        ).stdout
+        return json.loads(output)
+
+    return sweep("1"), sweep("31337")
+
+
+class TestBuildDeterminism:
+    @settings(
+        max_examples=len(scenario_names()),
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(name=st.sampled_from(scenario_names()))
+    def test_build_is_byte_deterministic_across_processes(
+        self, name, subprocess_fingerprints
+    ):
+        first, second = subprocess_fingerprints
+        local = corpus_fingerprint(get_scenario(name).build())
+        assert first[name] == local, f"{name}: fresh process disagrees with this one"
+        assert second[name] == local, f"{name}: build depends on PYTHONHASHSEED"
+
+
+# ----------------------------------------------------------------------
+# Streaming corpus: lazy construction (fast) and the slow verification lane
+# ----------------------------------------------------------------------
+class TestStreamingCorpusFast:
+    def test_transaction_is_pure_and_length_independent(self):
+        small = StreamingMobilityCorpus(n_transactions=10)
+        large = StreamingMobilityCorpus(n_transactions=10_000)
+        for tid in range(10):
+            a, b = small.transaction(tid), large.transaction(tid)
+            assert sorted(map(str, a.vertices())) == sorted(map(str, b.vertices()))
+            assert sorted(
+                (str(e.source), str(e.label), str(e.target)) for e in a.edges()
+            ) == sorted((str(e.source), str(e.label), str(e.target)) for e in b.edges())
+
+    def test_iter_batches_is_bounded_and_complete(self):
+        corpus = StreamingMobilityCorpus(n_transactions=1000)
+        seen = []
+        for batch in corpus.iter_batches(batch_size=128):
+            assert len(batch) <= 128
+            seen.extend(tid for tid, _ in batch)
+        assert seen == list(range(1000))
+
+    def test_reservoir_is_deterministic_and_evenly_spaced(self):
+        corpus = StreamingMobilityCorpus(n_transactions=10_000)
+        tids = corpus.reservoir_tids()
+        assert tids == corpus.reservoir_tids()
+        assert len(tids) == len(set(tids)) <= 64
+        strides = {b - a for a, b in zip(tids, tids[1:])}
+        assert len(strides) == 1
+
+    def test_sampled_digest_changes_with_seed(self):
+        base = sampled_digest(StreamingMobilityCorpus(n_transactions=500))
+        assert sampled_digest(StreamingMobilityCorpus(n_transactions=500)) == base
+        assert sampled_digest(StreamingMobilityCorpus(n_transactions=500, seed=7)) != base
+        assert sampled_digest(StreamingMobilityCorpus(n_transactions=501)) != base
+
+    def test_head_scenario_equals_corpus_head(self):
+        scenario = get_scenario("streaming-mobility-head")
+        data = scenario.build()
+        head = StreamingMobilityCorpus(
+            n_transactions=len(data.transactions), seed=scenario.seed
+        ).head(len(data.transactions))
+        assert [g.n_edges for g in data.transactions] == [g.n_edges for g in head]
+
+    def test_stream_cli_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "stream.json"
+        assert cli_main(
+            ["scenarios", "stream", "--transactions", "400", "--out", str(out)]
+        ) == 0
+        assert "digest=" in capsys.readouterr().out
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["n_transactions"] == 400
+        assert report["sampled_digest"] == sampled_digest(
+            StreamingMobilityCorpus(n_transactions=400)
+        )
+        assert report["peak_traced_bytes"] > 0
+
+    def test_stream_cli_rejects_bad_arguments(self, capsys):
+        assert cli_main(["scenarios", "stream", "--transactions", "0"]) == 2
+        assert "--transactions" in capsys.readouterr().err
+        assert cli_main(["scenarios", "stream", "--batch-size", "0"]) == 2
+        assert "--batch-size" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+class TestStreamingSlowLane:
+    def test_100k_sampled_digest_matches_golden_within_memory_budget(self):
+        golden = _load_streaming_golden()
+        corpus = StreamingMobilityCorpus(
+            n_transactions=golden["n_transactions"], seed=golden["seed"]
+        )
+        report = stream_report(corpus, batch_size=golden["batch_size"])
+        assert report["sampled_digest"] == golden["sampled_digest"], (
+            "streaming sampled digest diverged; if the generator changed "
+            "intentionally, re-pin tests/golden/streaming.json"
+        )
+        assert report["peak_traced_bytes"] < STREAMING_PEAK_BYTES_LIMIT, (
+            "streaming verification exceeded its memory budget — the corpus "
+            "is probably being materialised"
+        )
+
+    def test_100k_sampled_digest_is_hash_seed_independent(self):
+        golden = _load_streaming_golden()
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "98765"
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        script = (
+            "from repro.scenarios import StreamingMobilityCorpus, sampled_digest\n"
+            f"corpus = StreamingMobilityCorpus(n_transactions={golden['n_transactions']}, "
+            f"seed={golden['seed']})\n"
+            f"print(sampled_digest(corpus, batch_size={golden['batch_size']}))\n"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+            cwd=str(REPO_ROOT),
+        ).stdout.strip()
+        assert output == golden["sampled_digest"]

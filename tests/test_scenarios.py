@@ -274,7 +274,35 @@ class TestScenarioCli:
 
     def test_scenarios_run_unknown_name_fails(self, capsys):
         assert cli_main(["scenarios", "run", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "available:" in err
+
+    def test_scenarios_run_only_filter(self, capsys):
+        assert cli_main(["scenarios", "run", "--only", "temporal-drift,sparse-chains"]) == 0
+        out = capsys.readouterr().out
+        assert "temporal-drift" in out and "sparse-chains" in out
+        assert "dense-uniform" not in out
+
+    def test_scenarios_run_only_intersects_positional_names(self, capsys):
+        assert cli_main([
+            "scenarios", "run", "temporal-drift", "sparse-chains",
+            "--only", "sparse-chains",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sparse-chains" in out
+        assert "temporal-drift" not in out
+
+    def test_scenarios_only_rejects_unknown_and_empty_selection(self, capsys):
+        assert cli_main(["scenarios", "run", "--only", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "available:" in err
+        assert cli_main(["scenarios", "verify", "--only", "bogus"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+        assert cli_main([
+            "scenarios", "run", "temporal-drift", "--only", "sparse-chains"
+        ]) == 2
+        assert "no scenarios selected" in capsys.readouterr().err
 
     def test_scenarios_verify_with_report(self, tmp_path, capsys):
         golden_path = tmp_path / "golden.json"

@@ -133,3 +133,184 @@ class TestTransactionDataset:
         records = tiny_dataset.to_records()
         rebuilt = TransactionDataset.from_records(records, name="tiny")
         assert [t.id for t in rebuilt] == [t.id for t in tiny_dataset]
+
+
+class TestZoneDirectory:
+    def _directory(self):
+        from repro.datasets.schema import ZoneDirectory
+
+        directory = ZoneDirectory()
+        directory.add("riverside", Location(45.0, -122.9), synonyms=("riverside district", "RIV"))
+        directory.add("midtown", Location(45.1, -122.8))
+        return directory
+
+    def test_resolves_canonical_synonym_and_messy_spellings(self):
+        directory = self._directory()
+        for spelling in ("riverside", "Riverside", "  RIVERSIDE DISTRICT ", "riv", "riverside-district"):
+            zone = directory.resolve(spelling)
+            assert zone is not None and zone.name == "riverside"
+
+    def test_unknown_blank_and_non_string_resolve_to_none(self):
+        directory = self._directory()
+        assert directory.resolve("uncharted-17") is None
+        assert directory.resolve("") is None
+        assert directory.resolve("   ") is None
+        assert directory.resolve(None) is None
+        assert directory.resolve(42) is None
+
+    def test_conflicting_spelling_is_a_programmer_error(self):
+        directory = self._directory()
+        with pytest.raises(ValueError, match="already maps to"):
+            directory.add("other", Location(45.2, -122.7), synonyms=("RIV",))
+
+    def test_zones_in_registration_order(self):
+        directory = self._directory()
+        assert [zone.name for zone in directory.zones()] == ["riverside", "midtown"]
+        assert len(directory) == 2
+
+
+class TestCleanMobilityRecords:
+    def _zones(self):
+        from repro.datasets.schema import ZoneDirectory
+
+        directory = ZoneDirectory()
+        directory.add("alpha", Location(45.0, -122.9), synonyms=("alpha district",))
+        directory.add("beta", Location(45.1, -122.8))
+        return directory
+
+    def _record(self, **overrides):
+        base = dict(
+            trip_id=1,
+            origin_zone="alpha",
+            dest_zone="beta",
+            origin_lat=45.01,
+            origin_lon=-122.91,
+            dest_lat=45.11,
+            dest_lon=-122.81,
+            pickup_date="2004-03-02",
+            delivery_date="2004-03-04",
+            distance_miles=120.0,
+            weight_lb=20_000.0,
+            transit_hours=30.0,
+            mode="TL",
+        )
+        base.update(overrides)
+        return base
+
+    def _clean(self, records, **kwargs):
+        from repro.datasets.schema import clean_mobility_records
+
+        return clean_mobility_records(records, self._zones(), **kwargs)
+
+    def test_clean_record_passes_through_untouched(self):
+        dataset, report = self._clean([self._record()])
+        assert len(dataset) == 1
+        assert report.rows_dropped == 0
+        assert report.imputed_values == 0
+        assert report.clipped_coordinates == 0
+        assert report.clamped_timestamps == 0
+        txn = dataset[0]
+        assert txn.origin == Location(45.01, -122.91)
+        assert txn.trans_mode is TransMode.TRUCKLOAD
+
+    def test_unresolvable_zone_and_missing_pickup_are_dropped(self):
+        records = [
+            self._record(),
+            self._record(trip_id=2, origin_zone="uncharted-3"),
+            self._record(trip_id=3, pickup_date="not a date"),
+            self._record(trip_id=4, pickup_date=None),
+            self._record(trip_id=None),
+        ]
+        dataset, report = self._clean(records)
+        assert len(dataset) == 1
+        assert report.dropped_unresolvable_zone == 1
+        assert report.dropped_missing_critical == 3
+        assert report.rows_dropped == 4
+
+    def test_synonym_spellings_are_counted(self):
+        records = [self._record(origin_zone="Alpha District", dest_zone="BETA")]
+        _, report = self._clean(records)
+        # "Alpha District" is a synonym; "BETA" is just a case variant of
+        # the canonical name and must not count.
+        assert report.synonyms_resolved == 1
+
+    def test_numeric_dirt_is_imputed_with_the_lower_median(self):
+        records = [
+            self._record(trip_id=1, weight_lb=10_000.0),
+            self._record(trip_id=2, weight_lb=20_000.0),
+            self._record(trip_id=3, weight_lb=40_000.0),
+            self._record(trip_id=4, weight_lb=None),
+            self._record(trip_id=5, weight_lb=float("nan")),
+            self._record(trip_id=6, weight_lb=-5.0),
+        ]
+        dataset, report = self._clean(records)
+        assert report.imputed_values == 3
+        # Lower median of [10k, 20k, 40k] is 20k.
+        for tid in (4, 5, 6):
+            assert dataset[tid - 1].gross_weight == 20_000.0
+
+    def test_imputation_never_learns_from_dropped_rows(self):
+        records = [
+            self._record(trip_id=1, weight_lb=10_000.0),
+            # Dropped row with a huge weight: must not move the median.
+            self._record(trip_id=2, origin_zone="nowhere", weight_lb=1e9),
+            self._record(trip_id=3, weight_lb=None),
+        ]
+        dataset, _ = self._clean(records)
+        assert dataset[-1].gross_weight == 10_000.0
+
+    def test_coordinate_outliers_clip_to_the_zone_centroid(self):
+        records = [
+            self._record(origin_lat=5.0),                      # 40 degrees off
+            self._record(trip_id=2, dest_lat=None),            # missing
+            self._record(trip_id=3, dest_lon=float("inf")),    # non-finite
+        ]
+        dataset, report = self._clean(records)
+        assert report.clipped_coordinates == 3
+        assert dataset[0].origin == Location(45.0, -122.9)
+        assert dataset[1].destination == Location(45.1, -122.8)
+        assert dataset[2].destination == Location(45.1, -122.8)
+
+    def test_pickup_clamped_into_observation_window(self):
+        window = (date(2004, 3, 1), date(2004, 3, 31))
+        records = [self._record(pickup_date="2028-12-30", delivery_date=None)]
+        dataset, report = self._clean(records, observation_window=window)
+        assert dataset[0].req_pickup_dt == date(2004, 3, 31)
+        # Clamp + delivery rebuild both count.
+        assert report.clamped_timestamps == 2
+
+    def test_implausible_delivery_is_rebuilt_from_transit_hours(self):
+        records = [
+            self._record(delivery_date="2004-02-01", transit_hours=30.0),  # before pickup
+            self._record(trip_id=2, delivery_date="2028-12-30"),            # years later
+        ]
+        dataset, report = self._clean(records)
+        assert report.clamped_timestamps == 2
+        # ceil(30h / 24h) = 2 days after the 2004-03-02 pickup.
+        assert dataset[0].req_delivery_dt == date(2004, 3, 4)
+        assert dataset[1].req_delivery_dt == date(2004, 3, 4)
+
+    def test_mode_imputed_from_weight(self):
+        records = [
+            self._record(mode=None, weight_lb=5_000.0),
+            self._record(trip_id=2, mode="junk", weight_lb=30_000.0),
+            self._record(trip_id=3, mode="partial"),
+        ]
+        dataset, _ = self._clean(records)
+        assert dataset[0].trans_mode is TransMode.LESS_THAN_TRUCKLOAD
+        assert dataset[1].trans_mode is TransMode.TRUCKLOAD
+        assert dataset[2].trans_mode is TransMode.LESS_THAN_TRUCKLOAD
+
+    def test_cleaning_is_independent_of_row_order(self):
+        records = [
+            self._record(trip_id=1, weight_lb=None),
+            self._record(trip_id=2, weight_lb=12_000.0),
+            self._record(trip_id=3, weight_lb=28_000.0),
+        ]
+        forward, _ = self._clean(records)
+        backward, _ = self._clean(list(reversed(records)))
+        by_id_fwd = {t.id: t for t in forward}
+        by_id_bwd = {t.id: t for t in backward}
+        assert by_id_fwd.keys() == by_id_bwd.keys()
+        for tid in by_id_fwd:
+            assert by_id_fwd[tid] == by_id_bwd[tid]
