@@ -64,6 +64,7 @@ from repro.core.experiments import ALL_EXPERIMENTS
 from repro.core.results import ExperimentReport
 from repro.graphs.engine import KERNEL_ENV, KERNELS, resolve_kernel
 from repro.obs.tracer import TRACE_ENV
+from repro.runtime.faults import FAULTS_ENV, FaultPlan
 from repro.reporting.comparison import agreement_summary, render_comparison
 from repro.runtime.base import BACKENDS
 
@@ -165,6 +166,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     for scenario_parser in (scenario_run, scenario_verify, scenario_stream):
         _add_trace_option(scenario_parser)
+    for scenario_parser in (scenario_run, scenario_verify):
+        _add_faults_option(scenario_parser)
 
     trace_parser = subparsers.add_parser(
         "trace", help="inspect and convert recorded trace files"
@@ -195,6 +198,15 @@ def _add_trace_option(parser: argparse.ArgumentParser) -> None:
                              "never changes mining output")
 
 
+def _add_faults_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="deterministic fault-injection plan for sharded runtimes, "
+                             "e.g. 'kill:shard=1,level=3; hang:shard=0,op=slevel' "
+                             "(default: $REPRO_FAULTS or off); recovery keeps mining "
+                             "output byte-identical, so this is a chaos gate, not a "
+                             "chaos monkey")
+
+
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.03,
                         help="synthetic dataset scale (1.0 = the paper's full size; default 0.03)")
@@ -213,6 +225,7 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--output", type=Path, default=None,
                         help="also append the rendered comparisons to this file")
     _add_trace_option(parser)
+    _add_faults_option(parser)
 
 
 def _render(report: ExperimentReport) -> str:
@@ -487,6 +500,20 @@ def main(argv: Sequence[str] | None = None, stream=None) -> int:
         # switches every MatchEngine the run creates.
         os.environ[KERNEL_ENV] = kernel
 
+    # --faults / $REPRO_FAULTS: same carrier pattern as --kernel — every
+    # ShardedEngine the run constructs picks the plan up from the
+    # environment and arms its workers.  Parse eagerly so a typo fails
+    # the command, not the first mining run minutes in.
+    faults = getattr(args, "faults", None)
+    saved_faults = os.environ.get(FAULTS_ENV)
+    if faults:
+        try:
+            FaultPlan.parse(faults)
+        except ValueError as error:
+            print(f"invalid --faults plan: {error}", file=sys.stderr)
+            return 2
+        os.environ[FAULTS_ENV] = faults
+
     # --trace / $REPRO_TRACE: run under an active tracer and write the
     # merged trace (main + shard-worker spans + metrics) when done.  The
     # wall clock is the tracer clock so every worker timeline — aligned
@@ -523,6 +550,11 @@ def main(argv: Sequence[str] | None = None, stream=None) -> int:
                 os.environ.pop(KERNEL_ENV, None)
             else:
                 os.environ[KERNEL_ENV] = saved_kernel
+        if faults:
+            if saved_faults is None:
+                os.environ.pop(FAULTS_ENV, None)
+            else:
+                os.environ[FAULTS_ENV] = saved_faults
         if tracer is not None:
             from repro.obs import set_tracer, write_jsonl
             from repro.runtime import resolve_backend, resolve_workers

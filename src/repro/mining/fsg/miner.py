@@ -370,6 +370,8 @@ class FSGMiner:
                 pattern_keys.append(False)
         planning_seconds = time.perf_counter() - planning_started
         wire_before = getattr(runtime, "wire_bytes_shipped", 0)
+        recovery = getattr(runtime, "recovery", None)
+        recovery_before = dict(recovery) if recovery is not None else None
         supports = runtime.batch_support(
             [candidate.pattern for candidate in viable], tid_lists, pattern_keys
         )
@@ -379,6 +381,11 @@ class FSGMiner:
             counters["wire_bytes"] = (
                 getattr(runtime, "wire_bytes_shipped", 0) - wire_before
             )
+            if recovery_before is not None:
+                # Supervised runtimes respawn dead workers and replay the
+                # level; file what this level cost in recoveries.
+                for key in ("worker_restarts", "level_replays"):
+                    counters[key] = recovery[key] - recovery_before[key]
             # The batch protocol always ships whole patterns; one count
             # per shipped candidate (a sharded runtime posts each only to
             # the shards its tid list touches, but the per-(request,

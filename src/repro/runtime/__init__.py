@@ -17,6 +17,13 @@ scales that hot path without ever changing mining output:
 * :class:`~repro.runtime.pool.WorkerPool` — the backend abstraction:
   ``serial`` (inline, deterministic debugging) and ``process``
   (``multiprocessing`` workers speaking the CompactGraph wire format).
+* :mod:`~repro.runtime.faults` — the deterministic fault-injection
+  harness (``REPRO_FAULTS`` / ``--faults``) that drives the sharded
+  engine's supervision layer: dead or hung workers are detected via
+  deadline polling (``REPRO_WORKER_TIMEOUT``), respawned with bounded
+  retries (``REPRO_RECOVERY_RETRIES`` / ``REPRO_RECOVERY_BACKOFF``),
+  deterministically rebuilt, and the in-flight level replayed — with an
+  in-process degraded mode as the last resort, so output never changes.
 
 Pick a runtime with :func:`create_runtime`, or set ``REPRO_WORKERS`` /
 ``REPRO_BACKEND`` / ``REPRO_KERNEL`` to switch a whole run (or CI job)
@@ -55,16 +62,39 @@ from repro.runtime.planner import (
     ShardSessionBatch,
     wire_cost,
 )
-from repro.runtime.pool import ProcessBackend, SerialBackend, WorkerError, WorkerPool, make_pool
+from repro.runtime.faults import (
+    FAULTS_ENV,
+    FaultClause,
+    FaultInjector,
+    FaultPlan,
+    SimulatedWorkerDeath,
+    resolve_faults,
+)
+from repro.runtime.pool import (
+    WORKER_TIMEOUT_ENV,
+    ProcessBackend,
+    SerialBackend,
+    WorkerCorruption,
+    WorkerDeath,
+    WorkerError,
+    WorkerPool,
+    make_pool,
+    resolve_worker_timeout,
+)
 from repro.runtime.shards import ShardedEngine, ShardedSession, ShardWorker
 
 __all__ = [
     "BACKENDS",
+    "FAULTS_ENV",
     "KERNELS",
     "KERNEL_ENV",
     "SESSION_TELEMETRY_KEYS",
+    "WORKER_TIMEOUT_ENV",
     "BatchSupportPlanner",
     "DelegatingSession",
+    "FaultClause",
+    "FaultInjector",
+    "FaultPlan",
     "LevelRequest",
     "MiningRuntime",
     "MiningSession",
@@ -77,6 +107,9 @@ __all__ = [
     "ShardWorker",
     "ShardedEngine",
     "ShardedSession",
+    "SimulatedWorkerDeath",
+    "WorkerCorruption",
+    "WorkerDeath",
     "WorkerError",
     "WorkerPool",
     "bits_of",
@@ -88,7 +121,9 @@ __all__ = [
     "pack_bits",
     "popcount",
     "resolve_backend",
+    "resolve_faults",
     "resolve_kernel",
+    "resolve_worker_timeout",
     "resolve_workers",
     "tids_from_buffer",
     "tids_of",

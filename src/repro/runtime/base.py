@@ -129,6 +129,12 @@ SESSION_TELEMETRY_KEYS = (
     "evictions",
     "shard_scan_max",
     "shard_scan_min",
+    # Recovery counters (see repro.runtime.shards): worker respawns the
+    # supervisor performed while serving this level and level replays it
+    # re-dispatched to rebuilt workers.  Zero on every healthy level and
+    # on runtimes without a supervisor.
+    "worker_restarts",
+    "level_replays",
 )
 
 
@@ -244,8 +250,15 @@ class DelegatingSession(MiningSession):
         self._level += 1
         wire_before = self._wire_counter()
         posted_before = self._posted_counter()
+        recovery = getattr(self._runtime, "recovery", None)
+        recovery_before = dict(recovery) if recovery is not None else None
         supports = self._runtime.batch_support_level(requests, min_support)
         self._telemetry["wire_bytes"] += self._wire_counter() - wire_before
+        if recovery_before is not None:
+            # Supervised runtimes count respawns and replays; surface the
+            # delta this level caused, same pattern as the wire counter.
+            for key in ("worker_restarts", "level_replays"):
+                self._telemetry[key] += recovery[key] - recovery_before[key]
         if posted_before is not None:
             # Sharded runtimes count the full wires they actually posted
             # — one per (request, shard) pair, the same ruler the
@@ -451,4 +464,8 @@ class SerialRuntime(MiningRuntime):
         snapshot["patterns_shipped_full"] = 0
         snapshot["patterns_shipped_delta"] = 0
         snapshot["session_store_evictions"] = 0
+        # No workers, no supervisor: recovery counters are stable zeros.
+        snapshot["worker_restarts"] = 0
+        snapshot["level_replays"] = 0
+        snapshot["worker_degradations"] = 0
         return snapshot

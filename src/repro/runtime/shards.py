@@ -32,14 +32,30 @@ The shard side is :class:`ShardWorker`, a picklable message handler that
 runs identically under both worker-pool backends (inline for ``serial``,
 in a daemon process for ``process``) — the backend choice can change
 wall-clock, never output.
+
+Worker failure is survivable: when a gather hits a
+:class:`~repro.runtime.pool.WorkerDeath` (process gone, reply deadline
+missed, or a malformed reply), the engine's supervisor respawns the
+worker with bounded retries and exponential backoff, deterministically
+rebuilds the shard — full label-table snapshot, the retained transaction
+wires in original order, the released set, then tracing and sticky fault
+clauses — replays the in-flight message for that shard only, and after
+retry exhaustion degrades the slot to in-process serial execution.
+Because shard tasks are pure functions of (table, transactions, message),
+the replay is invisible in mining output: golden digests are
+byte-identical with and without injected faults.  Session pattern stores
+start empty on the rebuilt worker; the planner's residency model is reset
+through the engine's shard-reset listeners and repopulates lazily via the
+existing store-miss full-wire resend path.
 """
 
 from __future__ import annotations
 
 import functools
+import os
 import time
 from collections import OrderedDict
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.graphs.compact import CompactGraph, LabelTable
 from repro.graphs.engine import EmbeddingTask, MatchEngine, resolve_kernel
@@ -53,9 +69,10 @@ from repro.runtime.base import (
     merge_stats,
     resolve_backend,
 )
-from repro.runtime.bitsets import tids_from_buffer, tids_of
+from repro.runtime.bitsets import bits_of, bits_to_buffer, tids_from_buffer, tids_of
+from repro.runtime.faults import FaultPlan, compile_injector, resolve_faults
 from repro.runtime.planner import BatchSupportPlanner, wire_cost
-from repro.runtime.pool import make_pool
+from repro.runtime.pool import WorkerCorruption, WorkerDeath, WorkerError, make_pool
 
 #: Session protocols understood by :class:`ShardedEngine`.
 SESSION_PROTOCOLS = ("delta", "full")
@@ -75,6 +92,49 @@ _LEVELED_WORKER_SPANS = frozenset({"shard.slevel", "shard.level", "shard.batch"}
 #: soon as its consumer level is done), so this is a memory backstop for
 #: adversarial levels, not a tuning knob.
 DEFAULT_STORE_CAPACITY = 1 << 16
+
+#: Environment knobs for the recovery supervisor.
+RECOVERY_RETRIES_ENV = "REPRO_RECOVERY_RETRIES"
+RECOVERY_BACKOFF_ENV = "REPRO_RECOVERY_BACKOFF"
+
+#: Respawn attempts before a dead shard degrades to in-process execution.
+DEFAULT_RECOVERY_RETRIES = 2
+#: Base delay of the exponential backoff between respawn attempts.
+DEFAULT_RECOVERY_BACKOFF = 0.1
+
+
+def _resolve_env_number(value, env: str, default, cast):
+    if value is not None:
+        return cast(value)
+    raw = os.environ.get(env, "").strip()
+    if not raw:
+        return default
+    try:
+        return cast(raw)
+    except ValueError as error:
+        raise ValueError(f"{env}={raw!r} is not a valid number") from error
+
+
+#: Expected reply type per shard op; ops not listed ack with ``None``.
+#: The parent validates every gathered reply against this table so a
+#: corrupted (or truncated) reply becomes a typed ``WorkerCorruption``
+#: feeding the recovery path, never a downstream ``TypeError`` operating
+#: on junk.
+_REPLY_SHAPES: dict[str, type] = {
+    "add": list,
+    "batch": list,
+    "level": list,
+    "stats": dict,
+}
+
+
+def _reply_shape_ok(op: str, reply) -> bool:
+    if op == "slevel":
+        return isinstance(reply, tuple) and len(reply) == 3
+    expected = _REPLY_SHAPES.get(op)
+    if expected is None:
+        return reply is None
+    return isinstance(reply, expected)
 
 
 class ShardWorker:
@@ -129,6 +189,16 @@ class ShardWorker:
         ``("__obs__", reply, spans, counter_delta)`` — the parent
         unwraps in ``_gather``, so tracing changes reply framing, never
         reply content.
+    ``("faults", shard, spec, inline)``
+        Arm (or, with a falsy *spec*, disarm) this worker's fault
+        injector (see :mod:`repro.runtime.faults`); ack with ``None``.
+        From then on every non-control message runs through the
+        injector's hooks: ``kill`` / ``hang`` clauses fire before the
+        handler, ``corrupt-reply`` clauses replace the outgoing reply
+        (observability wrapping included, so corruption also exercises
+        the parent's unwrap validation).  Control messages (``trace``,
+        ``faults`` itself) are exempt — the harness must always be able
+        to reach a worker it is about to break.
     """
 
     def __init__(
@@ -162,6 +232,10 @@ class ShardWorker:
         #: Counter snapshot already shipped to the parent; the next obs
         #: reply ships only the delta past this point.
         self._obs_shipped: dict[str, int] = {}
+        #: This shard's fault injector, installed by a ``("faults", ...)``
+        #: message; ``None`` (the default) keeps the fault-free fast path
+        #: — one attribute check per message and nothing else.
+        self.faults = None
 
     # ------------------------------------------------------------------
     # Session store bookkeeping
@@ -277,8 +351,18 @@ class ShardWorker:
         if op == "trace":
             self._enable_tracing(message[1], message[2])
             return None
+        if op == "faults":
+            _, shard, spec, inline = message
+            self.faults = compile_injector(spec, shard, inline)
+            return None
+        faults = self.faults
+        if faults is not None:
+            faults.on_message(op)
         if tracer is None:
-            return self._handle(message, op)
+            reply = self._handle(message, op)
+            if faults is not None:
+                reply = faults.on_reply(op, reply)
+            return reply
         with tracer.span(f"shard.{op}", **self._span_attrs(op, message)):
             reply = self._handle(message, op)
         # Piggyback the finished spans and the counter delta on the reply
@@ -292,12 +376,17 @@ class ShardWorker:
             if value != shipped.get(key, 0)
         }
         self._obs_shipped = snapshot
-        return (
+        reply = (
             _OBS_REPLY,
             reply,
             [record.to_wire() for record in tracer.take_spans()],
             delta,
         )
+        # Corruption applies to what actually crosses the pipe — the
+        # wrapped frame — so the parent's unwrap sees the junk too.
+        if faults is not None:
+            reply = faults.on_reply(op, reply)
+        return reply
 
     def _handle(self, message: tuple, op: str):
         if op == "labels":
@@ -370,6 +459,23 @@ class ShardedEngine(MiningRuntime):
     session_store_capacity:
         Bound on resident patterns per shard store; overflowing entries
         are evicted oldest-first and resent in full on a later miss.
+    faults:
+        A :class:`~repro.runtime.faults.FaultPlan`, a spec string, or
+        ``None`` to consult ``REPRO_FAULTS``.  When active, the plan is
+        armed on every worker at construction and recovery is exercised
+        for real; when absent (the default) nothing fault-related runs.
+    worker_timeout:
+        Reply deadline in seconds for the process backend (``None``
+        consults ``REPRO_WORKER_TIMEOUT``, defaulting to
+        :data:`~repro.runtime.pool.DEFAULT_WORKER_TIMEOUT`; ≤0 disables).
+        The serial backend detects deaths synchronously and ignores this.
+    recovery_retries:
+        Respawn attempts per failure before the shard degrades to
+        in-process execution (``None`` consults
+        ``REPRO_RECOVERY_RETRIES``, default 2).
+    recovery_backoff:
+        Base seconds of the exponential backoff between respawn attempts
+        (``None`` consults ``REPRO_RECOVERY_BACKOFF``, default 0.1).
     """
 
     def __init__(
@@ -379,6 +485,10 @@ class ShardedEngine(MiningRuntime):
         session_protocol: str = "delta",
         session_store_capacity: int = DEFAULT_STORE_CAPACITY,
         kernel: str | None = None,
+        faults: "FaultPlan | str | None" = None,
+        worker_timeout: float | None = None,
+        recovery_retries: int | None = None,
+        recovery_backoff: float | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -407,6 +517,7 @@ class ShardedEngine(MiningRuntime):
                 store_capacity=session_store_capacity,
                 kernel=self.kernel,
             ),
+            worker_timeout=worker_timeout,
         )
         self._synced = [0] * shards
         self._local_to_global: list[list[int]] = [[] for _ in range(shards)]
@@ -414,6 +525,32 @@ class ShardedEngine(MiningRuntime):
         self._released: set[int] = set()
         self._next_global = 0
         self._closed = False
+        #: Recovery state.  ``_shard_wires`` retains each shard's
+        #: acknowledged transaction wires in registration order (released
+        #: slots collapse to a shared tombstone wire that preserves
+        #: local-tid numbering while freeing the graph payload), and
+        #: ``_shard_released`` the acknowledged released local tids —
+        #: together they are exactly the state a fresh worker needs to
+        #: become an indistinguishable replica.
+        self.faults = resolve_faults(faults)
+        self._recovery_retries = _resolve_env_number(
+            recovery_retries, RECOVERY_RETRIES_ENV, DEFAULT_RECOVERY_RETRIES, int
+        )
+        self._recovery_backoff = _resolve_env_number(
+            recovery_backoff, RECOVERY_BACKOFF_ENV, DEFAULT_RECOVERY_BACKOFF, float
+        )
+        self.recovery = {
+            "worker_restarts": 0,
+            "level_replays": 0,
+            "worker_degradations": 0,
+        }
+        self._shard_wires: list[list[tuple]] = [[] for _ in range(shards)]
+        self._shard_released: list[set[int]] = [set() for _ in range(shards)]
+        self._tombstone = None
+        self._round_message: dict[int, tuple] = {}
+        self._round_replay: "Callable[[int], tuple | None] | None" = None
+        self._reset_listeners: list[Callable[[int], None]] = []
+        self._degraded: set[int] = set()
         #: Observability state: the tracer worker spans and shard metric
         #: deltas merge into, and the buffer of worker spans gathered but
         #: not yet level-stamped (see :meth:`drain_worker_spans`).
@@ -422,6 +559,8 @@ class ShardedEngine(MiningRuntime):
         active = get_tracer()
         if active.enabled:
             self.enable_tracing(active)
+        if self.faults is not None:
+            self._arm_faults(self.faults)
 
     # ------------------------------------------------------------------
     # Observability
@@ -465,6 +604,173 @@ class ShardedEngine(MiningRuntime):
                 if record.name in _LEVELED_WORKER_SPANS:
                     record.attrs.setdefault("level", level)
         self._tracer.extend(spans)
+
+    # ------------------------------------------------------------------
+    # Fault injection & recovery
+    # ------------------------------------------------------------------
+    def _arm_faults(self, plan: FaultPlan, shards: Iterable[int] | None = None) -> None:
+        """Ship *plan* to workers; they compile their own injectors."""
+        inline = self.backend == "serial"
+        spec = plan.to_spec()
+        targets = range(self.n_shards) if shards is None else shards
+        messages = [
+            (shard, ("faults", shard, spec, inline))
+            for shard in targets
+            if shard not in self._degraded
+        ]
+        if messages:
+            self._gather(self._scatter(messages))
+
+    def add_reset_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked with the shard id after a rebuild.
+
+        Sessions use this to drop their residency model for the shard —
+        the rebuilt worker's pattern store is empty, so every resident
+        uid must be demoted back to ship-in-full.
+        """
+        self._reset_listeners.append(listener)
+
+    def remove_reset_listener(self, listener: Callable[[int], None]) -> None:
+        try:
+            self._reset_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    @property
+    def recovery_counts(self) -> dict[str, int]:
+        """Snapshot of the supervisor's counters (all zero when healthy)."""
+        return dict(self.recovery)
+
+    def _tombstone_wire(self) -> tuple:
+        """The shared placeholder wire standing in for a released slot.
+
+        Released transactions must keep their local-tid slot (rebuild
+        re-adds wires in order, so slot i must stay slot i) but their
+        graph payload can be dropped — important for streaming runs,
+        where the released prefix dwarfs the live window.  A one-vertex
+        graph over a dedicated tombstone label is the smallest wire that
+        round-trips; rebuild releases the slots right after re-adding.
+        """
+        if self._tombstone is None:
+            label_id = self.table.intern("\x00repro:released\x00")
+            self._tombstone = ("\x00released\x00", [label_id], [], ("t",))
+        return self._tombstone
+
+    def _receive(self, shard: int, op: str):
+        """One recv + obs unwrap + shape validation for *shard*'s *op*."""
+        reply = self._pool.recv(shard)
+        if type(reply) is tuple and len(reply) == 4 and reply[0] == _OBS_REPLY:
+            _, reply, spans, delta = reply
+            self._absorb_worker_obs(shard, spans, delta)
+        if not _reply_shape_ok(op, reply):
+            raise WorkerCorruption(
+                shard,
+                reason=f"malformed reply {type(reply).__name__!s} for op {op!r}",
+                last_op=op,
+            )
+        return reply
+
+    def _rebuild_shard(self, shard: int, rearm: bool) -> None:
+        """Make a fresh worker an exact replica of the lost shard.
+
+        Determinism rests on shard state being a pure function of the
+        message history: full label snapshot, the retained wires in
+        registration order (identical local tids fall out), the released
+        set.  Session pattern stores are *not* rebuilt — the reset
+        listeners clear the parent's residency model instead, and the
+        store repopulates lazily through the full-wire resend path.
+        """
+        self._synced[shard] = 0
+        if self._send_sync(shard):
+            self._receive(shard, "labels")
+        wires = self._shard_wires[shard]
+        if wires:
+            self._post(shard, ("add", wires))
+            locals_ = self._receive(shard, "add")
+            if list(locals_) != list(range(len(wires))):
+                raise WorkerCorruption(
+                    shard,
+                    reason="rebuild assigned unexpected local tids",
+                    last_op="add",
+                )
+        released = self._shard_released[shard]
+        if released:
+            self._post(shard, ("release", sorted(released)))
+            self._receive(shard, "release")
+        if self._tracer is not NULL_TRACER:
+            self._post(shard, ("trace", shard, time.time()))
+            self._receive(shard, "trace")
+        if rearm and self.faults is not None:
+            sticky = self.faults.sticky_only()
+            if sticky:
+                self._post(
+                    shard, ("faults", shard, sticky.to_spec(), self.backend == "serial")
+                )
+                self._receive(shard, "faults")
+
+    def _rebuild_and_replay(self, shard: int, rearm: bool):
+        self._rebuild_shard(shard, rearm)
+        for listener in list(self._reset_listeners):
+            listener(shard)
+        message = self._round_message.get(shard)
+        if message is None:
+            # Death outside any round (nothing in flight): rebuilt, done.
+            return None
+        if self._round_replay is not None:
+            replacement = self._round_replay(shard)
+            if replacement is not None:
+                message = replacement
+        self._post(shard, message)
+        return self._receive(shard, message[0])
+
+    def _recover_shard(self, shard: int, death: WorkerDeath):
+        """Respawn → rebuild → replay with bounded retries, degrade last.
+
+        Returns the replayed reply for the in-flight message (or ``None``
+        when nothing was in flight).  Raises only when even in-process
+        execution fails — at that point the failure is a handler bug and
+        surfaces as the usual :class:`WorkerError`.
+        """
+        op = self._round_message.get(shard, (None,))[0]
+        started = time.perf_counter()
+        tracer = self._tracer
+        span = tracer.span(
+            "runtime.recovery", shard=shard, op=op or "idle", reason=death.reason
+        )
+        attempt = 0
+        degraded = False
+        while True:
+            if attempt < self._recovery_retries:
+                if attempt:
+                    time.sleep(self._recovery_backoff * (2 ** (attempt - 1)))
+                self._pool.respawn(shard)
+                self.recovery["worker_restarts"] += 1
+                tracer.metrics.counter("worker_restarts", shard=str(shard))
+            else:
+                # Retries exhausted: correctness over parallelism.  The
+                # slot becomes an in-process handler (which cannot die)
+                # and sticky faults are never re-armed on it.
+                self._pool.degrade(shard)
+                self._degraded.add(shard)
+                self.recovery["worker_degradations"] += 1
+                tracer.metrics.counter("worker_degradations", shard=str(shard))
+                degraded = True
+            attempt += 1
+            try:
+                reply = self._rebuild_and_replay(shard, rearm=not degraded)
+            except WorkerDeath as next_death:
+                if degraded:  # pragma: no cover - inline slots cannot die
+                    span.finish(attempts=attempt, outcome="failed")
+                    raise next_death
+                continue
+            break
+        if op in ("slevel", "level", "batch"):
+            self.recovery["level_replays"] += 1
+            tracer.metrics.counter("level_replays", shard=str(shard))
+        elapsed = time.perf_counter() - started
+        tracer.metrics.histogram("recovery_seconds", elapsed, shard=str(shard))
+        span.finish(attempts=attempt, degraded=degraded)
+        return reply
 
     # ------------------------------------------------------------------
     # Placement
@@ -546,13 +852,27 @@ class ShardedEngine(MiningRuntime):
         self._synced[shard] = len(self.table)
         return True
 
-    def _scatter(self, messages: Sequence[tuple[int, tuple]]) -> list[tuple[int, int]]:
+    def _scatter(
+        self,
+        messages: Sequence[tuple[int, tuple]],
+        replay: "Callable[[int], tuple | None] | None" = None,
+    ) -> list[tuple[int, int]]:
         """Post every (shard, message) — label sync included — sending all
-        before the caller receives anything; returns the recv plan."""
+        before the caller receives anything; returns the recv plan.
+
+        The round's messages are remembered so a shard that dies before
+        replying can be replayed after its rebuild.  *replay*, when
+        given, supplies a replacement message per shard (sessions use it
+        to re-encode delta payloads in full for the store-less rebuilt
+        worker); ``None`` from it means "replay verbatim".
+        """
+        self._round_message = {}
+        self._round_replay = replay
         pending: list[tuple[int, int]] = []
         for shard, message in messages:
             synced = self._send_sync(shard)
             self._post(shard, message)
+            self._round_message[shard] = message
             pending.append((shard, 2 if synced else 1))
         return pending
 
@@ -562,24 +882,37 @@ class ShardedEngine(MiningRuntime):
         Every queued reply is drained before any worker error is
         re-raised, so a failing shard leaves the pipes aligned — the
         runtime (and any open session) stays usable and closeable.
+
+        A :class:`WorkerDeath` (process gone, deadline missed, malformed
+        reply) is not an error here: the supervisor recovers the shard in
+        place — respawn, rebuild, replay — and the replayed reply slots
+        in as if the death never happened.  The death voids whatever else
+        the shard still owed this round (a dead worker answers nothing,
+        and the replay re-answers the round's message).
         """
         replies: dict[int, Any] = {}
         first_error: BaseException | None = None
         for shard, count in pending:
-            for _ in range(count):
+            ops = [self._round_message[shard][0]]
+            if count == 2:
+                ops.insert(0, "labels")
+            for op in ops:
                 try:
-                    reply = self._pool.recv(shard)
+                    reply = self._receive(shard, op)
+                except WorkerDeath as death:
+                    try:
+                        replies[shard] = self._recover_shard(shard, death)
+                    except WorkerError as error:
+                        if first_error is None:
+                            first_error = error
+                    break
+                except WorkerError as error:
+                    if first_error is None:
+                        first_error = error
                 except BaseException as error:  # noqa: BLE001 - re-raised below
                     if first_error is None:
                         first_error = error
                 else:
-                    if (
-                        type(reply) is tuple
-                        and len(reply) == 4
-                        and reply[0] == _OBS_REPLY
-                    ):
-                        _, reply, spans, delta = reply
-                        self._absorb_worker_obs(shard, spans, delta)
                     replies[shard] = reply
         if first_error is not None:
             raise first_error
@@ -622,14 +955,27 @@ class ShardedEngine(MiningRuntime):
                     )
                 self._home[tid] = (shard, local)
                 mapping.append(tid)
+        # Retain the acknowledged wires for deterministic rebuild — only
+        # after the gather, so a recovery *during* this round rebuilds
+        # from the pre-round log and the replayed "add" lands exactly
+        # once on the fresh worker.
+        for shard in range(self.n_shards):
+            if wires[shard]:
+                self._shard_wires[shard].extend(wires[shard])
         return tids
 
     def release_transactions(self, tids: Iterable[int]) -> None:
         by_shard: dict[int, list[int]] = {}
+        released: list[int] = []
+        seen: set[int] = set()
         for tid in tids:
+            if tid in seen:
+                # Same contract as a second release_transactions call.
+                raise KeyError(f"transaction {tid} has been released from this runtime")
+            seen.add(tid)
             shard, local = self.locate(tid)
             by_shard.setdefault(shard, []).append(local)
-            self._released.add(tid)
+            released.append(tid)
         pending = self._scatter(
             [
                 (shard, ("release", sorted(locals_)))
@@ -637,6 +983,17 @@ class ShardedEngine(MiningRuntime):
             ]
         )
         self._gather(pending)
+        # Commit only after the gather (same reason as add_transactions:
+        # a mid-round recovery must rebuild the pre-round state, then
+        # replay the release).  Released slots keep their position in the
+        # rebuild log but swap the graph payload for a shared tombstone.
+        for tid in released:
+            self._released.add(tid)
+        for shard, locals_ in by_shard.items():
+            self._shard_released[shard].update(locals_)
+            wires = self._shard_wires[shard]
+            for local in locals_:
+                wires[local] = self._tombstone_wire()
 
     def batch_support(
         self,
@@ -728,6 +1085,9 @@ class ShardedEngine(MiningRuntime):
         # Wire bytes are counted parent-side (once per posted message),
         # so they are added after the per-shard merge, never summed K times.
         merged["wire_bytes_shipped"] = self._wire_bytes
+        # Supervisor counters are parent-side too: zero on a healthy run,
+        # and the run report's record of every recovery that happened.
+        merged.update(self.recovery)
         return merged
 
     def close(self) -> None:
@@ -791,6 +1151,20 @@ class ShardedSession(MiningSession):
         #: N is mining level N — what worker spans get stamped with.
         self._level = 0
         self._closed = False
+        # A recovered shard comes back with an empty pattern store: the
+        # residency model must drop everything it believed about it, or
+        # the planner would ship deltas against parents that no longer
+        # exist shard-side.
+        runtime.add_reset_listener(self._on_shard_reset)
+
+    def _on_shard_reset(self, shard: int) -> None:
+        self._resident[shard].clear()
+        self._pending_evict[shard] = []
+        self._evicted_anchors[shard].clear()
+        for key in [key for key in self._hits if key[0] == shard]:
+            del self._hits[key]
+        for key in [key for key in self._hit_index if key[0] == shard]:
+            del self._hit_index[key]
 
     def _hit_positions(self, shard: int, uid: object) -> dict[int, int] | None:
         """``local tid -> position`` over *uid*'s hit list on *shard*."""
@@ -859,10 +1233,53 @@ class ShardedSession(MiningSession):
         telemetry["shard_scan_max"] = max(scan_units)
         telemetry["shard_scan_min"] = min(scan_units)
         telemetry["planning_seconds"] += time.perf_counter() - planning_started
+        batch_by_shard = {
+            batch.shard: batch for batch in batches if not batch.is_empty()
+        }
+
+        def replay(shard: int) -> tuple | None:
+            # Re-encode the dead shard's level against its rebuilt,
+            # store-less worker: identical uid order and abort bounds,
+            # but every payload in full (deltas reference stored parents
+            # the fresh store does not have) and no piggybacked
+            # evictions (the store they targeted died with the worker).
+            batch = batch_by_shard.get(shard)
+            if batch is None:
+                return None
+            payloads = []
+            for position in batch.positions:
+                request = requests[position]
+                locals_ = []
+                for tid in tids_of(request.tid_bits):
+                    owner, local = runtime.locate(tid)
+                    if owner == shard:
+                        locals_.append(local)
+                payloads.append(
+                    (
+                        "w",
+                        runtime.planner._wire_of(request.pattern, runtime.table),
+                        bits_to_buffer(bits_of(locals_)),
+                    )
+                )
+            self._resident[shard].update(batch.uids)
+            telemetry["patterns_full"] += len(payloads)
+            return (
+                "slevel",
+                [],
+                payloads,
+                batch.uids,
+                batch.parent_uids,
+                batch.extensions,
+                batch.abort_bounds,
+            )
+
         wire_before = runtime.wire_bytes_shipped
-        pending = runtime._scatter(messages)
-        telemetry["wire_bytes"] += runtime.wire_bytes_shipped - wire_before
+        recovery_before = dict(runtime.recovery)
+        pending = runtime._scatter(messages, replay=replay)
         replies = runtime._gather(pending)
+        telemetry["wire_bytes"] += runtime.wire_bytes_shipped - wire_before
+        for key in ("worker_restarts", "level_replays"):
+            telemetry[key] += runtime.recovery[key] - recovery_before[key]
         results: list[Sequence[Sequence[int]] | None] = [None] * runtime.n_shards
         for batch in batches:
             if batch.is_empty():
@@ -912,6 +1329,7 @@ class ShardedSession(MiningSession):
             return
         self._closed = True
         runtime = self._runtime
+        runtime.remove_reset_listener(self._on_shard_reset)
         messages: list[tuple[int, tuple]] = []
         for shard in range(runtime.n_shards):
             uids = list(self._pending_evict[shard])

@@ -39,7 +39,7 @@ from repro.mining.subdue.evaluation import EvaluationPrinciple
 from repro.mining.subdue.miner import SubdueMiner
 from repro.partitioning.structural import StructuralMiningConfig, mine_single_graph
 from repro.patterns.recall import measure_recall
-from repro.runtime import MiningRuntime, ShardedEngine
+from repro.runtime import MiningRuntime, ShardedEngine, resolve_faults
 from repro.scenarios.base import Scenario, ScenarioData
 
 #: Shard counts exercised by the full differential check.
@@ -391,8 +391,11 @@ class DifferentialReport:
     #: Per-run aggregated runtime counters (`MiningRuntime.stats()`):
     #: matching/cache counters plus the session-protocol counters
     #: (wire_bytes_shipped, patterns_shipped_full/delta,
-    #: session_store_evictions).  Observational — shown in
-    #: ``scenarios verify --report`` output, never pinned in golden files.
+    #: session_store_evictions) and the recovery counters
+    #: (worker_restarts, level_replays, worker_degradations — the chaos
+    #: lane's artifact of what each faulted run survived).  Observational
+    #: — shown in ``scenarios verify --report`` output, never pinned in
+    #: golden files.
     runtime_stats: dict[str, dict[str, int]] = field(default_factory=dict, repr=False)
 
     @property
@@ -405,6 +408,7 @@ def differential_check(
     shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
     backends: Sequence[str] = ("serial",),
     check_oracle: bool = True,
+    faults=None,
 ) -> DifferentialReport:
     """Run *scenario* under every runtime configuration and compare digests.
 
@@ -417,8 +421,16 @@ def differential_check(
     repeat identical work without adding coverage).  Invariant checks and
     (by default) the legacy-matcher oracle also run against the
     reference.
+
+    *faults* adds the faulted axis: a fault plan (or spec string;
+    ``None`` consults ``REPRO_FAULTS``, so the chaos CI lane needs no
+    code) armed on every sharded run.  The serial reference always runs
+    unfaulted — that is the point: recovery must reproduce the unfaulted
+    sections byte for byte, and the per-run ``runtime_stats`` record the
+    respawns and replays it took.
     """
     tracer = get_tracer()
+    faults = resolve_faults(faults)
     data = scenario.build()
     with tracer.span("scenario.run", scenario=scenario.name, runtime="serial"):
         reference = run_scenario(scenario, data=data)
@@ -440,7 +452,9 @@ def differential_check(
     for backend in backends:
         for shards in shard_counts:
             label = f"sharded-{backend}-k{shards}"
-            runtime = ShardedEngine(shards=shards, backend=backend)
+            if faults is not None:
+                label += "-faulted"
+            runtime = ShardedEngine(shards=shards, backend=backend, faults=faults)
             engine = MatchEngine()
             try:
                 with tracer.span(

@@ -17,6 +17,7 @@ The load-bearing properties, in order:
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -34,6 +35,19 @@ from repro.runtime import (
     WorkerError,
     bits_of,
     tids_of,
+)
+
+
+# Under the CI chaos job REPRO_FAULTS injects worker deaths into every
+# sharded runtime these tests build.  Equivalence and teardown tests are
+# the chaos gate — recovery must keep them green.  Tests that assert
+# exact protocol mechanics (send/recv ordering, per-level wire counters,
+# hand-forged store state) are legitimately perturbed by respawn/replay
+# and sit out chaos runs.
+CHAOS = bool(os.environ.get("REPRO_FAULTS", "").strip())
+chaos_exempt = pytest.mark.skipif(
+    CHAOS,
+    reason="exact protocol-mechanics accounting is not stable under injected faults",
 )
 
 
@@ -101,6 +115,7 @@ class TestSessionEquivalence:
             runtime.close()
         assert mining_signature(mined) == mining_signature(baseline)
 
+    @chaos_exempt
     def test_full_protocol_matches_but_ships_more(self):
         corpus = random_corpus(43, size=20)
         results = {}
@@ -165,6 +180,7 @@ class TestSessionEquivalence:
 # Telemetry and stats counters
 # ----------------------------------------------------------------------
 class TestTelemetry:
+    @chaos_exempt
     def test_level_telemetry_recorded_per_level(self):
         corpus = random_corpus(67, size=20)
         runtime = ShardedEngine(shards=2, backend="serial")
@@ -190,6 +206,7 @@ class TestTelemetry:
         assert mined.level_telemetry
         assert mined.session_totals()["wire_bytes"] == 0
 
+    @chaos_exempt
     def test_session_counters_in_stats(self):
         corpus = random_corpus(73, size=20)
         runtime = ShardedEngine(shards=2, backend="serial")
@@ -215,6 +232,7 @@ class TestTelemetry:
 # ----------------------------------------------------------------------
 # Protocol mechanics, driven request by request
 # ----------------------------------------------------------------------
+@chaos_exempt
 class TestSessionProtocol:
     def _runtime_with_corpus(self, **kwargs):
         corpus = random_corpus(79, size=10)
@@ -341,6 +359,7 @@ class _RecordingPool:
         return getattr(self._inner, name)
 
 
+@chaos_exempt
 class TestScatterGather:
     def _spanning_requests(self, runtime, tids):
         # One request per shard plus one spanning both, so a sequential
@@ -414,6 +433,7 @@ class TestWorkerFailures:
             pool.recv(0)
         pool.close()
 
+    @chaos_exempt  # recovery's full-wire replay rescues the forged delta
     @pytest.mark.parametrize("backend", ["serial", pytest.param("process", marks=pytest.mark.slow)])
     def test_mid_level_failure_propagates_and_session_stays_closeable(self, backend):
         corpus = random_corpus(101, size=8)
@@ -449,6 +469,7 @@ class TestWorkerFailures:
         finally:
             runtime.close()
 
+    @chaos_exempt  # recovery's full-wire replay rescues the forged delta
     def test_failure_in_one_shard_does_not_strand_other_replies(self):
         corpus = random_corpus(103, size=8)
         runtime = ShardedEngine(shards=2, backend="serial")
