@@ -1,26 +1,37 @@
-"""Benchmark: sharded + batched support counting vs. the serial runtime.
+"""Benchmark: sharded support-counting scaling curve + wire differential.
 
-Mines the same >= 400-transaction corpus three ways —
+Mines the same >= 400-transaction corpus along two axes —
 
-* ``serial`` — the default :class:`~repro.runtime.base.SerialRuntime`
-  (pattern-major `engine.support`, the pre-runtime behaviour);
-* ``sharded-serial`` — :class:`~repro.runtime.shards.ShardedEngine` with
-  the inline backend: isolates the *batching* gain (one transaction-major
-  pass per level per shard, shared candidate buckets, per-pattern plans
-  hoisted out of the scan) with zero parallelism;
-* ``sharded-process`` — the same with ``multiprocessing`` workers: adds
-  real parallelism on multi-core hosts.
+* **Scaling curve** — for each worker count (default 1, 2, 4) and both
+  sharded backends: ``serial`` (inline workers; isolates the *batching*
+  gain — one transaction-major pass per level per shard — with zero
+  parallelism) and ``process`` (``multiprocessing`` workers with the
+  shared-memory blob transport; adds real parallelism on multi-core
+  hosts).  Every mode is compared against the plain
+  :class:`~repro.runtime.base.SerialRuntime` baseline and records its
+  ``wire_bytes_shipped``.
+* **Wire differential** — the same sharded mine once under
+  ``--wire buffer`` (flat-buffer codec, the default) and once under
+  ``--wire pickle``, comparing bytes shipped.  The flat buffer must ship
+  at least :data:`WIRE_RATIO_FLOOR` times fewer bytes with identical
+  output — byte counts are deterministic, so a shrinking ratio is a
+  codec regression, not noise.
 
 Every run starts from a cold engine so no verdict cache leaks between
 modes, and the mined (pattern, support) multisets are compared across
-modes.  Results land in ``BENCH_parallel.json``; when any sharded mode
-diverges from the serial output the report records
-``outputs_identical: false`` and the process exits non-zero so CI fails
-instead of silently uploading a bad report.
+all modes.  Results land in ``BENCH_parallel.json``.  The process exits
+non-zero when any mode diverges from the serial output, when the wire
+ratio drops below the floor, or when a genuinely multi-core host fails
+to get *any* parallel payoff from the process backend (best process
+speedup < 1.0 despite ``cpu_count > 1``).  A 1-core host cannot fail
+the speedup gate — there the process backend measures IPC overhead, and
+the report says so instead of pretending otherwise.
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/bench_parallel_support.py [n_transactions] [workers]
+    PYTHONPATH=src python benchmarks/bench_parallel_support.py [n_transactions] [worker_counts]
+
+where ``worker_counts`` is comma-separated (default ``1,2,4``).
 """
 
 from __future__ import annotations
@@ -41,9 +52,13 @@ from repro.mining.fsg.miner import FSGMiner
 from repro.runtime import ShardedEngine
 
 DEFAULT_TRANSACTIONS = 400
-DEFAULT_WORKERS = 4
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
 MIN_SUPPORT = 0.05
 MAX_EDGES = 4
+#: Minimum pickle-vs-buffer byte ratio the flat wire must sustain.
+WIRE_RATIO_FLOOR = 3.0
+#: Worker count the wire differential runs at.
+WIRE_SHARDS = 2
 
 
 def build_corpus(n_transactions: int, seed: int = 20050405) -> list[LabeledGraph]:
@@ -86,65 +101,134 @@ def mine(corpus, runtime=None):
     return elapsed, len(result.patterns), signature
 
 
+def mine_sharded(corpus, *, workers: int, backend: str, wire: str | None = None):
+    runtime = ShardedEngine(shards=workers, backend=backend, wire=wire)
+    try:
+        elapsed, count, signature = mine(corpus, runtime=runtime)
+        shipped = runtime.wire_bytes_shipped
+    finally:
+        runtime.close()
+    return elapsed, count, signature, shipped
+
+
 def main() -> None:
     n_transactions = int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_TRANSACTIONS
-    workers = int(sys.argv[2]) if len(sys.argv) > 2 else DEFAULT_WORKERS
+    worker_counts = (
+        tuple(int(part) for part in sys.argv[2].split(","))
+        if len(sys.argv) > 2
+        else DEFAULT_WORKER_COUNTS
+    )
+    cpu_count = os.cpu_count() or 1
     corpus = build_corpus(n_transactions)
     n_edges = sum(graph.n_edges for graph in corpus)
-    print(f"corpus: {n_transactions} transactions, {n_edges} edges; workers={workers}")
+    print(
+        f"corpus: {n_transactions} transactions, {n_edges} edges; "
+        f"worker counts {list(worker_counts)}; cpu_count={cpu_count}"
+    )
 
     serial_s, n_patterns, serial_signature = mine(corpus)
-    print(f"serial            {serial_s:8.2f}s   {n_patterns} frequent patterns")
+    print(f"serial baseline     {serial_s:8.2f}s   {n_patterns} frequent patterns")
 
-    timings = {"serial": serial_s}
     divergent: list[str] = []
-    for backend in ("serial", "process"):
-        runtime = ShardedEngine(shards=workers, backend=backend)
-        try:
-            elapsed, count, signature = mine(corpus, runtime=runtime)
-            stats = runtime.stats()
-        finally:
-            runtime.close()
-        label = f"sharded-{backend}"
-        if signature != serial_signature:
-            divergent.append(label)
-            print(f"ERROR: {label} changed mining output", file=sys.stderr)
-        timings[label] = elapsed
-        print(
-            f"{label:17s} {elapsed:8.2f}s   {count} frequent patterns   "
-            f"speedup {serial_s / elapsed:.2f}x   "
-            f"(searches={stats['searches']}, early_rejects={stats['early_rejects']})"
-        )
+    scaling: list[dict] = []
+    buffer_bytes_at_wire_shards: int | None = None
+    for workers in worker_counts:
+        for backend in ("serial", "process"):
+            elapsed, count, signature, shipped = mine_sharded(
+                corpus, workers=workers, backend=backend
+            )
+            label = f"sharded-{backend}-w{workers}"
+            if signature != serial_signature:
+                divergent.append(label)
+                print(f"ERROR: {label} changed mining output", file=sys.stderr)
+            if workers == WIRE_SHARDS and backend == "serial":
+                buffer_bytes_at_wire_shards = shipped
+            speedup = serial_s / elapsed
+            scaling.append(
+                {
+                    "workers": workers,
+                    "backend": backend,
+                    "seconds": round(elapsed, 3),
+                    "speedup": round(speedup, 2),
+                    "wire_bytes_shipped": shipped,
+                }
+            )
+            print(
+                f"{label:22s} {elapsed:8.2f}s   speedup {speedup:.2f}x   "
+                f"wire_bytes={shipped}"
+            )
 
-    cpu_count = os.cpu_count() or 1
+    # Wire differential: same corpus, same shard count, pickle wire.
+    # The buffer-wire twin already ran in the curve above.
+    _, _, pickle_signature, pickle_bytes = mine_sharded(
+        corpus, workers=WIRE_SHARDS, backend="serial", wire="pickle"
+    )
+    if pickle_signature != serial_signature:
+        divergent.append("sharded-serial-pickle")
+        print("ERROR: pickle wire changed mining output", file=sys.stderr)
+    assert buffer_bytes_at_wire_shards is not None or WIRE_SHARDS not in worker_counts
+    if buffer_bytes_at_wire_shards is None:
+        _, _, _, buffer_bytes_at_wire_shards = mine_sharded(
+            corpus, workers=WIRE_SHARDS, backend="serial", wire="buffer"
+        )
+    wire_ratio = pickle_bytes / buffer_bytes_at_wire_shards
+    print(
+        f"wire differential (K={WIRE_SHARDS}): buffer={buffer_bytes_at_wire_shards} "
+        f"pickle={pickle_bytes} ratio={wire_ratio:.2f}x (floor {WIRE_RATIO_FLOOR}x)"
+    )
+
+    process_speedups = [
+        row["speedup"] for row in scaling if row["backend"] == "process"
+    ]
+    batched_speedups = [
+        row["speedup"] for row in scaling if row["backend"] == "serial"
+    ]
     report = {
         "env": bench_env(),
         "n_transactions": n_transactions,
         "total_edges": n_edges,
-        "workers": workers,
+        "worker_counts": list(worker_counts),
         "cpu_count": cpu_count,
         "min_support": MIN_SUPPORT,
         "max_edges": MAX_EDGES,
         "n_patterns": n_patterns,
-        "seconds": {key: round(value, 3) for key, value in timings.items()},
-        "speedup_batched": round(serial_s / timings["sharded-serial"], 2),
-        "speedup_process": round(serial_s / timings["sharded-process"], 2),
+        "serial_seconds": round(serial_s, 3),
+        "scaling": scaling,
+        "wire": {
+            "shards": WIRE_SHARDS,
+            "wire_bytes_buffer": buffer_bytes_at_wire_shards,
+            "wire_bytes_pickle": pickle_bytes,
+            "ratio": round(wire_ratio, 2),
+            "ratio_floor": WIRE_RATIO_FLOOR,
+        },
+        "speedup_batched": max(batched_speedups),
+        "speedup_process": max(process_speedups),
         "outputs_identical": not divergent,
     }
     if divergent:
         report["divergent_modes"] = divergent
-    if cpu_count < workers:
+    if cpu_count == 1:
         report["note"] = (
-            f"host has {cpu_count} CPU(s) for {workers} workers: the process "
-            "backend is core-bound here and speedup_process measures mostly "
-            "IPC overhead on top of the batching gain; run on >= "
-            f"{workers} cores for the parallel speedup"
+            "host has 1 CPU: the process backend is core-bound and its "
+            "speedups measure IPC overhead on top of the batching gain, "
+            "not parallelism; run on a multi-core host for the real curve"
         )
         print(f"note: {report['note']}")
     out = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {out}")
-    if divergent:
+    print(f"wrote {out} (cpu_count={cpu_count})")
+
+    failures = list(divergent)
+    if wire_ratio < WIRE_RATIO_FLOOR:
+        failures.append(f"wire ratio {wire_ratio:.2f}x below {WIRE_RATIO_FLOOR}x floor")
+        print(f"ERROR: {failures[-1]}", file=sys.stderr)
+    if cpu_count > 1 and max(process_speedups) < 1.0:
+        failures.append(
+            f"multi-core host ({cpu_count} CPUs) but best process speedup "
+            f"{max(process_speedups):.2f}x < 1.0"
+        )
+        print(f"ERROR: {failures[-1]}", file=sys.stderr)
+    if failures:
         raise SystemExit(1)
 
 

@@ -26,8 +26,9 @@ scales that hot path without ever changing mining output:
   in-process degraded mode as the last resort, so output never changes.
 
 Pick a runtime with :func:`create_runtime`, or set ``REPRO_WORKERS`` /
-``REPRO_BACKEND`` / ``REPRO_KERNEL`` to switch a whole run (or CI job)
-without code changes.
+``REPRO_BACKEND`` / ``REPRO_KERNEL`` / ``REPRO_WIRE`` /
+``REPRO_PLACEMENT`` to switch a whole run (or CI job) without code
+changes.
 """
 
 from __future__ import annotations
@@ -56,10 +57,13 @@ from repro.runtime.bitsets import (
     unpack_bits,
 )
 from repro.runtime.planner import (
+    PLACEMENT_ENV,
     BatchSupportPlanner,
+    PlacementPolicy,
     ShardBatch,
     ShardLevelBatch,
     ShardSessionBatch,
+    resolve_placement,
     wire_cost,
 )
 from repro.runtime.faults import (
@@ -82,15 +86,32 @@ from repro.runtime.pool import (
     resolve_worker_timeout,
 )
 from repro.runtime.shards import ShardedEngine, ShardedSession, ShardWorker
+from repro.runtime.wire import (
+    BLOB_OP,
+    SHM_OP,
+    WIRE_ENV,
+    WIRES,
+    WireFormatError,
+    decode_message,
+    encode_message,
+    resolve_wire,
+)
 
 __all__ = [
     "BACKENDS",
+    "BLOB_OP",
     "FAULTS_ENV",
     "KERNELS",
     "KERNEL_ENV",
+    "PLACEMENT_ENV",
     "SESSION_TELEMETRY_KEYS",
+    "SHM_OP",
+    "WIRES",
+    "WIRE_ENV",
     "WORKER_TIMEOUT_ENV",
     "BatchSupportPlanner",
+    "PlacementPolicy",
+    "WireFormatError",
     "DelegatingSession",
     "FaultClause",
     "FaultInjector",
@@ -120,9 +141,13 @@ __all__ = [
     "merge_stats",
     "pack_bits",
     "popcount",
+    "decode_message",
+    "encode_message",
     "resolve_backend",
     "resolve_faults",
     "resolve_kernel",
+    "resolve_placement",
+    "resolve_wire",
     "resolve_worker_timeout",
     "resolve_workers",
     "tids_from_buffer",
@@ -137,6 +162,7 @@ def create_runtime(
     backend: str | None = None,
     engine: MatchEngine | None = None,
     kernel: str | None = None,
+    wire: str | None = None,
 ) -> MiningRuntime:
     """The runtime implied by a ``workers`` knob.
 
@@ -150,6 +176,10 @@ def create_runtime(
     ``"vectorized"``, defaulting to ``REPRO_KERNEL`` or ``"python"``) and
     applies to every engine the runtime owns — shard engines included.
 
+    *wire* picks the sharded runtime's message encoding (``"buffer"`` or
+    ``"pickle"``, defaulting to ``REPRO_WIRE`` or ``"buffer"``); the
+    serial runtime has no wire and ignores it.
+
     *engine* applies to the serial case only: a sharded runtime owns one
     engine (label table, indexes, verdict cache) per shard by design, so
     a caller-supplied engine — and any caches warmed in it — is not used
@@ -159,4 +189,4 @@ def create_runtime(
     workers = resolve_workers(workers)
     if workers <= 1:
         return SerialRuntime(engine=engine, kernel=kernel)
-    return ShardedEngine(shards=workers, backend=backend, kernel=kernel)
+    return ShardedEngine(shards=workers, backend=backend, kernel=kernel, wire=wire)

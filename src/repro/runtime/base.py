@@ -129,6 +129,13 @@ SESSION_TELEMETRY_KEYS = (
     "evictions",
     "shard_scan_max",
     "shard_scan_min",
+    # Placement balance (see repro.runtime.planner.PlacementPolicy): the
+    # largest and smallest cumulative scan weight any shard has been
+    # assigned by the placement policy as of this level.  Recording the
+    # running balance per level keeps rebalancing decisions reproducible
+    # and auditable from telemetry alone.  Zero on serial runtimes.
+    "placement_weight_max",
+    "placement_weight_min",
     # Recovery counters (see repro.runtime.shards): worker respawns the
     # supervisor performed while serving this level and level replays it
     # re-dispatched to rebuilt workers.  Zero on every healthy level and
@@ -275,6 +282,10 @@ class DelegatingSession(MiningSession):
         if scan_units:
             self._telemetry["shard_scan_max"] = max(scan_units)
             self._telemetry["shard_scan_min"] = min(scan_units)
+        placement_loads = getattr(self._runtime, "placement_loads", None)
+        if placement_loads:
+            self._telemetry["placement_weight_max"] = max(placement_loads)
+            self._telemetry["placement_weight_min"] = min(placement_loads)
         # Sharded runtimes buffer the worker spans a tracing run gathers;
         # stamp them with this level (no-op attribute on SerialRuntime).
         drain = getattr(self._runtime, "drain_worker_spans", None)

@@ -22,6 +22,8 @@ support set is the disjoint union of the shard-local results.
 
 from __future__ import annotations
 
+import os
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -30,17 +32,33 @@ from repro.graphs.labeled_graph import LabeledGraph
 from repro.runtime.bitsets import bits_of, bits_to_buffer, tids_of
 
 
-def wire_cost(value) -> int:
-    """Approximate serialized size of a wire payload, in bytes.
+#: Pinned pickle protocol for wire accounting.  Pinning (rather than
+#: ``HIGHEST_PROTOCOL``) keeps measured byte counts stable across
+#: interpreter upgrades, so archived telemetry stays comparable.
+WIRE_PICKLE_PROTOCOL = 4
 
-    A deterministic, backend-independent estimate modelled on pickle's
-    framing (small ints ~5 bytes, big ints ~their byte length, strings
-    ~their length, containers ~their members): the absolute numbers are
-    approximate, but both session protocols are measured with the same
-    ruler, so byte *ratios* — the thing the benchmarks compare — are
-    honest.  Measuring this way keeps accounting identical across the
-    serial and process pool backends (the serial backend never pickles).
+
+def wire_cost(value) -> int:
+    """Measured serialized size of a wire payload, in bytes.
+
+    The actual ``pickle.dumps`` length at a pinned protocol — exactly
+    what the process backend's pipe would carry for *value* — rather
+    than the pickle-era estimate this function used to return.  The
+    measurement is deterministic (same value, same bytes) and applied
+    uniformly under both pool backends, so serial-backend telemetry
+    reads in the same units as a real multiprocess run, and the two
+    wire formats (``pickle`` vs ``buffer``) are compared with the same
+    ruler.  Values pickle cannot serialize fall back to the old framing
+    model so accounting never raises mid-mine.
     """
+    try:
+        return len(pickle.dumps(value, WIRE_PICKLE_PROTOCOL))
+    except Exception:
+        return _estimated_wire_cost(value)
+
+
+def _estimated_wire_cost(value) -> int:
+    """The pickle-era framing model, kept as the unpicklable fallback."""
     if value is None or isinstance(value, bool):
         return 1
     if isinstance(value, int):
@@ -52,10 +70,71 @@ def wire_cost(value) -> int:
     if isinstance(value, (str, bytes)):
         return len(value) + 6
     if isinstance(value, (tuple, list, frozenset, set)):
-        return 2 + sum(wire_cost(member) for member in value)
+        return 2 + sum(_estimated_wire_cost(member) for member in value)
     if isinstance(value, dict):
-        return 2 + sum(wire_cost(key) + wire_cost(item) for key, item in value.items())
+        return 2 + sum(
+            _estimated_wire_cost(key) + _estimated_wire_cost(item)
+            for key, item in value.items()
+        )
     return 8  # opaque objects (uids etc.): a flat-rate guess
+
+
+class PlacementPolicy:
+    """Deterministic tid-to-shard placement.
+
+    ``weighted`` (the default) greedily assigns each arriving
+    transaction to the currently lightest shard, where a transaction's
+    weight is its edge count — the level-1 scan cost every shard pays
+    per resident transaction.  Ties break toward the lowest shard id,
+    so placement is a pure function of the arrival order and weights:
+    reruns of the same corpus reproduce the same partition, which keeps
+    golden digests stable.  On uniform weights the policy degenerates to
+    exact round-robin, matching the legacy layout.
+
+    ``roundrobin`` keeps the legacy static ``arrival % n_shards``
+    placement, retained as the A/B baseline for the skew benchmarks.
+    """
+
+    POLICIES = ("weighted", "roundrobin")
+
+    def __init__(self, n_shards: int, policy: str = "weighted"):
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown placement policy {policy!r}; expected one of {self.POLICIES}"
+            )
+        self.n_shards = n_shards
+        self.policy = policy
+        #: Cumulative placed weight per shard — the balance the weighted
+        #: policy levels, exported to telemetry by the engine.
+        self.loads = [0] * n_shards
+        self._arrivals = 0
+
+    def place(self, weight: int) -> int:
+        """Assign the next transaction (scan cost *weight*) to a shard."""
+        if self.policy == "roundrobin":
+            shard = self._arrivals % self.n_shards
+        else:
+            shard = min(range(self.n_shards), key=lambda s: (self.loads[s], s))
+        self._arrivals += 1
+        self.loads[shard] += max(1, weight)
+        return shard
+
+
+#: Environment fallback consulted when no explicit placement policy is given.
+PLACEMENT_ENV = "REPRO_PLACEMENT"
+
+
+def resolve_placement(policy: str | None) -> str:
+    """Resolve the placement policy: explicit value, else
+    ``$REPRO_PLACEMENT``, else ``"weighted"``."""
+    if policy is None:
+        policy = os.environ.get(PLACEMENT_ENV) or PlacementPolicy.POLICIES[0]
+    if policy not in PlacementPolicy.POLICIES:
+        raise ValueError(
+            f"unknown placement policy {policy!r}; "
+            f"expected one of {PlacementPolicy.POLICIES}"
+        )
+    return policy
 
 
 @dataclass

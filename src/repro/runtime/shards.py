@@ -71,8 +71,14 @@ from repro.runtime.base import (
 )
 from repro.runtime.bitsets import bits_of, bits_to_buffer, tids_from_buffer, tids_of
 from repro.runtime.faults import FaultPlan, compile_injector, resolve_faults
-from repro.runtime.planner import BatchSupportPlanner, wire_cost
+from repro.runtime.planner import (
+    BatchSupportPlanner,
+    PlacementPolicy,
+    resolve_placement,
+    wire_cost,
+)
 from repro.runtime.pool import WorkerCorruption, WorkerDeath, WorkerError, make_pool
+from repro.runtime.wire import BLOB_OP, decode_message, encode_message, resolve_wire
 
 #: Session protocols understood by :class:`ShardedEngine`.
 SESSION_PROTOCOLS = ("delta", "full")
@@ -101,6 +107,17 @@ RECOVERY_BACKOFF_ENV = "REPRO_RECOVERY_BACKOFF"
 DEFAULT_RECOVERY_RETRIES = 2
 #: Base delay of the exponential backoff between respawn attempts.
 DEFAULT_RECOVERY_BACKOFF = 0.1
+
+
+@functools.lru_cache(maxsize=None)
+def _blob_envelope_cost(op: str) -> int:
+    """Pickled size of a ``(BLOB_OP, op, blob)`` envelope minus the blob.
+
+    Added to each blob's length so buffer-wire accounting covers the
+    whole physical message, not just the payload — keeping the
+    pickle-vs-buffer byte comparison honest.
+    """
+    return wire_cost((BLOB_OP, op, b""))
 
 
 def _resolve_env_number(value, env: str, default, cast):
@@ -346,6 +363,11 @@ class ShardWorker:
         return {}
 
     def __call__(self, message: tuple):
+        if message[0] == BLOB_OP:
+            # Flat-buffer envelope: rehydrate the logical message before
+            # any hook runs, so fault op/level filters, span names, and
+            # reply shapes all see the same ops as the pickle wire.
+            message = decode_message(message[2])
         tracer = self.tracer
         op = message[0]
         if op == "trace":
@@ -476,6 +498,20 @@ class ShardedEngine(MiningRuntime):
     recovery_backoff:
         Base seconds of the exponential backoff between respawn attempts
         (``None`` consults ``REPRO_RECOVERY_BACKOFF``, default 0.1).
+    wire:
+        Wire format for shard messages (``None`` consults ``REPRO_WIRE``,
+        default ``"buffer"``).  ``"buffer"`` encodes the data-plane
+        messages as flat buffers — varint-packed graphs, delta-coded tid
+        lists — which the process backend may further ship through
+        shared memory; ``"pickle"`` sends the logical tuples as-is and
+        is kept as the differential oracle.  Workers rehydrate blobs
+        before any fault/trace hook runs, so mining output, fault
+        filtering, and telemetry semantics are identical under both.
+    placement:
+        Tid placement policy (``None`` consults ``REPRO_PLACEMENT``,
+        default ``"weighted"``): support-weighted least-loaded placement
+        by transaction edge count, or ``"roundrobin"`` for the legacy
+        static layout (the A/B baseline for the skew benchmarks).
     """
 
     def __init__(
@@ -489,6 +525,8 @@ class ShardedEngine(MiningRuntime):
         worker_timeout: float | None = None,
         recovery_retries: int | None = None,
         recovery_backoff: float | None = None,
+        wire: str | None = None,
+        placement: str | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -504,8 +542,16 @@ class ShardedEngine(MiningRuntime):
         #: (env fallback included) so process workers inherit the
         #: parent's choice rather than re-reading their own environment.
         self.kernel = resolve_kernel(kernel)
+        #: Wire format for shard messages: ``"buffer"`` (default) encodes
+        #: data-plane messages as flat buffers (see
+        #: :mod:`repro.runtime.wire`), ``"pickle"`` ships the logical
+        #: tuples directly — the differential oracle.  Resolved here
+        #: (``$REPRO_WIRE`` fallback included) for the same reason as
+        #: the kernel knob.
+        self.wire = resolve_wire(wire)
         self.table = LabelTable()
         self.planner = BatchSupportPlanner(shards)
+        self._placement = PlacementPolicy(shards, resolve_placement(placement))
         self._wire_bytes = 0
         self._level_patterns_posted = 0
         self._last_level_scan_units: list[int] = []
@@ -653,7 +699,9 @@ class ShardedEngine(MiningRuntime):
         """
         if self._tombstone is None:
             label_id = self.table.intern("\x00repro:released\x00")
-            self._tombstone = ("\x00released\x00", [label_id], [], ("t",))
+            # Tuple labels keep the tombstone inside the flat-buffer
+            # codec's type universe so rebuild re-adds stay off pickle.
+            self._tombstone = ("\x00released\x00", (label_id,), [], ("t",))
         return self._tombstone
 
     def _receive(self, shard: int, op: str):
@@ -795,12 +843,25 @@ class ShardedEngine(MiningRuntime):
 
     @property
     def wire_bytes_shipped(self) -> int:
-        """Estimated bytes of every message posted to the shards so far.
+        """Measured bytes of every message posted to the shards so far.
 
-        Measured with :func:`~repro.runtime.planner.wire_cost` at post
-        time, so the counter is identical across pool backends.
+        Accounted at post time with one ruler across pool backends: the
+        flat-buffer blob length under ``wire="buffer"``, the measured
+        pickle length (:func:`~repro.runtime.planner.wire_cost`)
+        otherwise.
         """
         return self._wire_bytes
+
+    @property
+    def placement_loads(self) -> list[int]:
+        """Cumulative placed scan weight per shard (placement balance).
+
+        The running totals the weighted placement policy levels —
+        sessions surface their max/min as the ``placement_weight_max`` /
+        ``placement_weight_min`` telemetry, making every rebalancing
+        decision's outcome visible in the per-level record.
+        """
+        return list(self._placement.loads)
 
     @property
     def wants_verdict_keys(self) -> bool:
@@ -839,7 +900,22 @@ class ShardedEngine(MiningRuntime):
     # Dispatch: wire accounting + scatter/gather
     # ------------------------------------------------------------------
     def _post(self, shard: int, message: tuple) -> None:
-        """Send *message* to *shard*, accounting its wire cost."""
+        """Send *message* to *shard*, accounting its wire cost.
+
+        Under the ``buffer`` wire format the logical message is encoded
+        as a flat blob here, at the last hop before the pool — replay
+        and rebuild paths store and re-post *logical* messages, so a
+        replayed level is re-encoded identically.  Messages the codec
+        does not cover (control ops, exotic values) fall through to the
+        pickle wire; either way the accounted bytes are what the
+        process backend's transport would actually carry.
+        """
+        if self.wire == "buffer":
+            blob = encode_message(message)
+            if blob is not None:
+                self._wire_bytes += len(blob) + _blob_envelope_cost(message[0])
+                self._pool.send(shard, (BLOB_OP, message[0], blob))
+                return
         self._wire_bytes += wire_cost(message)
         self._pool.send(shard, message)
 
@@ -929,7 +1005,11 @@ class ShardedEngine(MiningRuntime):
             compact = CompactGraph.from_labeled(transaction, self.table)
             tid = self._next_global
             self._next_global += 1
-            shard = tid % self.n_shards
+            # Deterministic support-weighted placement: the edge count is
+            # the level-1 scan cost a shard pays for hosting the
+            # transaction, so levelling it attacks the shard_scan skew
+            # that size-skewed corpora showed under static round-robin.
+            shard = self._placement.place(compact.n_edges)
             wires[shard].append(compact.to_wire())
             globals_[shard].append(tid)
             tids.append(tid)
@@ -1232,6 +1312,9 @@ class ShardedSession(MiningSession):
         runtime._last_level_scan_units = scan_units
         telemetry["shard_scan_max"] = max(scan_units)
         telemetry["shard_scan_min"] = min(scan_units)
+        placement_loads = runtime.placement_loads
+        telemetry["placement_weight_max"] = max(placement_loads)
+        telemetry["placement_weight_min"] = min(placement_loads)
         telemetry["planning_seconds"] += time.perf_counter() - planning_started
         batch_by_shard = {
             batch.shard: batch for batch in batches if not batch.is_empty()

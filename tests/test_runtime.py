@@ -275,14 +275,40 @@ class TestShardedEngine:
         assert [batch.is_empty() for batch in batches] == [True, False, True]
         assert batches[1].tid_lists == [[4, 7]]
 
-    def test_round_robin_placement(self):
+    def test_round_robin_placement_legacy_policy(self):
         corpus = random_corpus(23, size=6)
-        runtime = ShardedEngine(shards=3, backend="serial")
+        runtime = ShardedEngine(shards=3, backend="serial", placement="roundrobin")
         try:
             tids = runtime.add_transactions(corpus)
             shards = [runtime.locate(tid)[0] for tid in tids]
         finally:
             runtime.close()
+        assert shards == [0, 1, 2, 0, 1, 2]
+
+    def test_weighted_placement_levels_edge_load(self):
+        # Weighted placement assigns each arrival to the lightest shard
+        # (weight = edge count), so cumulative loads end near-balanced
+        # even when sizes are skewed — and reruns reproduce the layout.
+        corpus = random_corpus(23, size=12)
+        layouts = []
+        for _ in range(2):
+            runtime = ShardedEngine(shards=3, backend="serial")
+            try:
+                tids = runtime.add_transactions(corpus)
+                layouts.append([runtime.locate(tid)[0] for tid in tids])
+                loads = runtime.placement_loads
+            finally:
+                runtime.close()
+            weights = [max(1, graph.n_edges) for graph in corpus]
+            assert sum(loads) == sum(weights)
+            assert max(loads) - min(loads) <= max(weights)
+        assert layouts[0] == layouts[1]
+
+    def test_weighted_placement_degenerates_to_round_robin_on_uniform(self):
+        from repro.runtime.planner import PlacementPolicy
+
+        policy = PlacementPolicy(3, "weighted")
+        shards = [policy.place(5) for _ in range(6)]
         assert shards == [0, 1, 2, 0, 1, 2]
 
 
